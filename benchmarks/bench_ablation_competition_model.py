@@ -1,0 +1,98 @@
+"""Ablation A5: reservation vs competition foreground models.
+
+The headline experiments model foreground traffic by *reserving* bandwidth
+(available = capacity - used, the regime of `tc`-style throttling the paper
+replays).  The alternative is *competition*: foreground flows run live in
+the simulator at their recorded intensity and repair shares links with
+them under max-min fairness.
+
+This ablation repeats a Figure 5-style single-chunk comparison under both
+models.  Reservation is pessimistic for repair (the foreground always
+wins); competition is optimistic (fair sharing claws bandwidth back).  The
+claim that must survive both: PivotRepair >= RP, with the congestion-aware
+tree's advantage larger under reservation (where congested links truly
+have nothing left) than under competition.
+"""
+
+import pytest
+
+from conftest import record
+from repro.core import PivotRepairPlanner
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.baselines import RPPlanner
+from repro.experiments import congested_instants, stripe_nodes_at
+from repro.repair import ExecutionConfig, pipeline_bytes_per_edge, repair_single_chunk
+from repro.traces.replay import repair_under_competition
+from repro.units import mib, kib
+
+N, K = 9, 6
+INSTANTS = 8
+
+
+@pytest.mark.benchmark(group="ablation-competition")
+def test_reservation_vs_competition(benchmark, workload_traces):
+    trace = workload_traces["TPC-H"]
+    reserved_network = trace.to_network(floor=1e6)
+    config = ExecutionConfig(chunk_size=mib(16), slice_size=kib(32))
+
+    def run():
+        sums = {
+            "reservation": {"RP": 0.0, "PivotRepair": 0.0},
+            "competition": {"RP": 0.0, "PivotRepair": 0.0},
+        }
+        for index, instant in enumerate(
+            congested_instants(trace, INSTANTS, seed=6)
+        ):
+            requestor, survivors = stripe_nodes_at(
+                trace, instant, N, seed=index + 40
+            )
+            snapshot = BandwidthSnapshot.from_network(
+                reserved_network, instant
+            )
+            for name, planner in (
+                ("RP", RPPlanner()),
+                ("PivotRepair", PivotRepairPlanner()),
+            ):
+                reserved = repair_single_chunk(
+                    planner, reserved_network, requestor, survivors, K,
+                    start_time=instant, config=config,
+                )
+                sums["reservation"][name] += reserved.transfer_seconds
+                plan = planner.plan(snapshot, requestor, survivors, K)
+                competed = repair_under_competition(
+                    trace,
+                    plan.tree.edges(),
+                    pipeline_bytes_per_edge(config, plan.tree.depth()),
+                    start_time=instant,
+                    seed=index,
+                )
+                sums["competition"][name] += competed
+        return {
+            model: {k: v / INSTANTS for k, v in row.items()}
+            for model, row in sums.items()
+        }
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation A5: foreground model, mean transfer seconds over "
+        f"{INSTANTS} congested TPC-H instants, ({N},{K}), 16 MiB chunks",
+        f"  {'model':>12} | {'RP':>8} | {'PivotRepair':>11}",
+    ]
+    for model, row in means.items():
+        lines.append(
+            f"  {model:>12} | {row['RP']:>6.2f} s | "
+            f"{row['PivotRepair']:>9.2f} s"
+        )
+    record("ablation_competition_model", lines)
+
+    # The headline claim survives both foreground models.
+    for model, row in means.items():
+        assert row["PivotRepair"] <= row["RP"] * 1.02, model
+    # Competition (fair sharing) softens congestion for everyone.
+    assert (
+        means["competition"]["RP"] <= means["reservation"]["RP"] * 1.05
+    )
+    benchmark.extra_info["seconds"] = {
+        model: {k: round(v, 3) for k, v in row.items()}
+        for model, row in means.items()
+    }

@@ -1,0 +1,80 @@
+"""Ablation A3: what pivot selection by theo(.) buys.
+
+Compares three helper-selection policies under the same tree-construction
+machinery on congested snapshots:
+
+* PivotRepair (top-k theo + insert + replace, Algorithm 1),
+* random helper subset with Algorithm 1's inserting over it,
+* RP's bandwidth-oblivious chain (reference point).
+
+Shows that both the *selection* (which nodes) and the *shape* (tree vs
+chain) contribute to the B_min advantage.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import NODE_COUNT, congested_instants, record
+from fig5_common import stripe_nodes_at
+from repro.baselines import RPPlanner
+from repro.core import PivotRepairPlanner
+from repro.core.algorithm import insert_pivots
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.tree import RepairTree
+from repro.units import to_mbps
+
+
+def random_subset_tree(snapshot, requestor, candidates, k, rng):
+    subset = [int(x) for x in rng.choice(candidates, size=k, replace=False)]
+    # Insert in descending theo order within the random subset.
+    subset.sort(key=lambda node: (-snapshot.theo(node), node))
+    parents = insert_pivots(snapshot, requestor, subset)
+    return RepairTree(requestor, parents)
+
+
+@pytest.mark.benchmark(group="ablation-helpers")
+def test_pivot_selection_matters(benchmark, workload_traces):
+    trace = workload_traces["TPC-H"]
+    n, k = 9, 6
+
+    def run():
+        rng = np.random.default_rng(3)
+        sums = {"PivotRepair": 0.0, "random helpers": 0.0, "RP chain": 0.0}
+        count = 0
+        for index, instant in enumerate(congested_instants(trace, 40, 9)):
+            requestor, survivors = stripe_nodes_at(
+                trace, instant, n, seed=index + 500
+            )
+            snapshot = BandwidthSnapshot(
+                up={
+                    node: float(trace.available_up()[node, int(instant)])
+                    for node in range(NODE_COUNT)
+                },
+                down={
+                    node: float(trace.available_down()[node, int(instant)])
+                    for node in range(NODE_COUNT)
+                },
+            )
+            pivot = PivotRepairPlanner().plan(snapshot, requestor, survivors, k)
+            random_tree = random_subset_tree(
+                snapshot, requestor, survivors, k, rng
+            )
+            rp = RPPlanner().plan(snapshot, requestor, survivors, k)
+            sums["PivotRepair"] += pivot.bmin
+            sums["random helpers"] += random_tree.bmin(snapshot)
+            sums["RP chain"] += rp.bmin
+            count += 1
+        return {name: total / count for name, total in sums.items()}
+
+    means = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation A3: helper selection policy, mean B_min over 40 "
+             "congested TPC-H snapshots, (9,6)"]
+    for name, value in means.items():
+        lines.append(f"  {name:>15}: {to_mbps(value):7.1f} Mb/s")
+    record("ablation_helper_selection", lines)
+
+    assert means["PivotRepair"] > means["random helpers"]
+    assert means["PivotRepair"] > means["RP chain"]
+    benchmark.extra_info["mean_bmin_mbps"] = {
+        name: round(to_mbps(value), 1) for name, value in means.items()
+    }

@@ -1,0 +1,127 @@
+"""Ablation A4: rack-aware tree construction on a multi-layer topology.
+
+Section IV-F poses rack-aware pipelining as future work; this bench
+quantifies it on the substrate built for it.  A 4-rack x 4-node cluster
+holds the requestor alone in rack 0 and heterogeneous helpers across racks
+1-3; the core oversubscription factor is swept and a (9, 6) single-chunk
+repair compares:
+
+* the flat (rack-oblivious) PivotRepair tree, executed on the rack
+  topology, against
+* the rack-aware tree (local aggregation, one cross-rack edge per rack).
+
+Expected shape: a crossover.  With a fat core the flat tree's direct edges
+win (local aggregation costs an extra relay hop of fan-in); once the core
+is oversubscribed, the flat tree's multiple cross-rack streams split the
+rack links and the rack-aware tree takes over.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record
+from repro.core import PivotRepairPlanner
+from repro.core.rack_aware import (
+    RackAwarePivotPlanner,
+    RackSnapshot,
+    cross_rack_edges,
+)
+from repro.network.bandwidth import NodeBandwidth
+from repro.network.hierarchical import RackNetwork
+from repro.network.simulator import FluidSimulator
+from repro.repair.pipeline import ExecutionConfig, pipeline_bytes_per_edge
+from repro.units import gbps, kib, mbps, mib, to_mbps
+
+OVERSUBSCRIPTION = [1.0, 2.0, 4.0, 8.0]
+
+
+def heterogeneous_rack_network(factor: float, seed: int = 4) -> RackNetwork:
+    """4 racks x 4 nodes; node links drawn from 100-1000 Mb/s."""
+    rng = np.random.default_rng(seed)
+    node_racks = [rack for rack in range(4) for _ in range(4)]
+    nodes = []
+    for node in range(16):
+        if node == 0:  # the requestor keeps a clean 1 Gb/s edge
+            nodes.append(NodeBandwidth.constant(gbps(1), gbps(1)))
+        else:
+            nodes.append(
+                NodeBandwidth.constant(
+                    mbps(float(rng.integers(100, 1000))),
+                    mbps(float(rng.integers(100, 1000))),
+                )
+            )
+    rack_capacity = 4 * gbps(1) / factor
+    racks = [
+        NodeBandwidth.constant(rack_capacity, rack_capacity)
+        for _ in range(4)
+    ]
+    return RackNetwork(node_racks, nodes, racks)
+
+
+def transfer_seconds(tree, network, config):
+    sim = FluidSimulator(network)
+    handle = sim.submit_pipelined(
+        tree.edges(), pipeline_bytes_per_edge(config, tree.depth())
+    )
+    sim.run()
+    return handle.duration
+
+
+@pytest.mark.benchmark(group="ablation-rack")
+def test_rack_aware_vs_flat(benchmark):
+    config = ExecutionConfig(chunk_size=mib(64), slice_size=kib(32))
+    candidates = list(range(4, 16))  # helpers live in racks 1-3 only
+    k = 6
+
+    def run():
+        rows = {}
+        for factor in OVERSUBSCRIPTION:
+            network = heterogeneous_rack_network(factor)
+            view = RackSnapshot.from_network(network, 0.0)
+            flat = PivotRepairPlanner().plan(view, 0, candidates, k)
+            aware = RackAwarePivotPlanner().plan(view, 0, candidates, k)
+            rows[factor] = {
+                "flat_seconds": transfer_seconds(flat.tree, network, config),
+                "aware_seconds": transfer_seconds(
+                    aware.tree, network, config
+                ),
+                "flat_crossings": len(
+                    cross_rack_edges(flat.tree, view.rack_of)
+                ),
+                "aware_crossings": len(
+                    cross_rack_edges(aware.tree, view.rack_of)
+                ),
+                "aware_bmin": aware.bmin,
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Ablation A4: rack-aware vs flat PivotRepair, 4 racks x 4 nodes, "
+        "(9,6), 64 MiB chunk, requestor isolated in rack 0",
+        f"  {'oversub':>8} | {'flat':>8} | {'aware':>8} | "
+        f"{'flat x-edges':>12} | {'aware x-edges':>13} | {'aware B_min':>11}",
+    ]
+    for factor, row in rows.items():
+        lines.append(
+            f"  {factor:>7.1f}x | {row['flat_seconds']:>6.2f} s | "
+            f"{row['aware_seconds']:>6.2f} s | {row['flat_crossings']:>12} | "
+            f"{row['aware_crossings']:>13} | "
+            f"{to_mbps(row['aware_bmin']):>8.0f} Mb/s"
+        )
+    record("ablation_rack_topology", lines)
+
+    for row in rows.values():
+        # The rack-aware planner scores the flat tree too, so it never
+        # crosses racks more than the flat tree does...
+        assert row["flat_crossings"] >= row["aware_crossings"]
+        # ... and never runs meaningfully slower.
+        assert row["aware_seconds"] <= row["flat_seconds"] * 1.05
+    # Under heavy oversubscription local aggregation wins clearly, with at
+    # most one cross-rack upload per remote rack.
+    assert rows[8.0]["aware_seconds"] < rows[8.0]["flat_seconds"] * 0.8
+    assert rows[8.0]["aware_crossings"] <= 3
+    benchmark.extra_info["rows"] = {
+        str(f): {k2: round(float(v), 3) for k2, v in r.items()}
+        for f, r in rows.items()
+    }

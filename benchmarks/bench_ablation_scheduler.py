@@ -1,0 +1,81 @@
+"""Ablation A2: sensitivity of the adaptive scheduler to alpha, beta, and
+the recommendation threshold (Eq. 3).
+
+The paper introduces alpha and beta as "parameters to indicate how strong
+the running tasks do not recommend a new task" without publishing values.
+This ablation sweeps them on a (9, 6) full-node repair to show the regime
+structure: permissive settings approach fixed-window parallelism, harsh
+settings degrade toward serial execution, and a broad middle band wins.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import NODE_COUNT, record
+from repro.core import PivotRepairPlanner
+from repro.core.scheduler import SchedulerConfig
+from repro.ec import RSCode, place_stripes
+from repro.repair import (
+    ExecutionConfig,
+    repair_full_node,
+    repair_full_node_adaptive,
+)
+from repro.units import kib, mib
+
+SWEEP = [
+    ("alpha=1 beta=2 thr=10", SchedulerConfig(1.0, 2.0, 10.0)),
+    ("alpha=1 beta=2 thr=50", SchedulerConfig(1.0, 2.0, 50.0)),
+    ("alpha=1 beta=2 thr=200", SchedulerConfig(1.0, 2.0, 200.0)),
+    ("alpha=0 beta=0 thr=0", SchedulerConfig(0.0, 0.0, 0.0)),
+    ("alpha=4 beta=8 thr=10", SchedulerConfig(4.0, 8.0, 10.0)),
+    ("serial (thr=1e9)", SchedulerConfig(1.0, 2.0, 1e9)),
+]
+
+
+@pytest.mark.benchmark(group="ablation-scheduler")
+def test_scheduler_knob_sweep(benchmark, workload_traces, workload_networks):
+    trace = workload_traces["TPC-DS"]
+    network = workload_networks["TPC-DS"]
+    code = RSCode(9, 6)
+    failed_node = int(np.argmax(trace.used_node_bandwidth().mean(axis=1)))
+    rng = np.random.default_rng(5)
+    stripes = []
+    start_id = 0
+    while len(stripes) < 32:
+        batch = place_stripes(32, code, NODE_COUNT, rng, start_id=start_id)
+        start_id += 32
+        stripes.extend(
+            s for s in batch if s.chunk_on_node(failed_node) is not None
+        )
+    stripes = stripes[:32]
+    config = ExecutionConfig(chunk_size=mib(64), slice_size=kib(32))
+
+    def run():
+        results = {}
+        results["fixed window=4"] = repair_full_node(
+            PivotRepairPlanner(), network, stripes, failed_node,
+            concurrency=4, config=config,
+        ).total_seconds
+        for label, scheduler in SWEEP:
+            results[label] = repair_full_node_adaptive(
+                PivotRepairPlanner(), network, stripes, failed_node,
+                scheduler=scheduler, config=config,
+            ).total_seconds
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Ablation A2: adaptive scheduler knobs, (9,6), 32 chunks"]
+    for label, seconds in results.items():
+        lines.append(f"  {label:>22}: {seconds:7.1f} s")
+    record("ablation_scheduler", lines)
+
+    # Serial execution is the worst configuration.
+    serial = results["serial (thr=1e9)"]
+    best = min(results.values())
+    assert serial == max(results.values())
+    # A sensible middle configuration clearly beats serial.
+    assert results["alpha=1 beta=2 thr=10"] < serial
+    benchmark.extra_info["seconds"] = {
+        k: round(v, 1) for k, v in results.items()
+    }
+    del best

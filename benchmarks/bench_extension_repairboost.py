@@ -1,0 +1,105 @@
+"""Extension E3: full-node repair vs RepairBoost-style traffic balancing.
+
+RepairBoost [32] balances the repair traffic matrix up front; PivotRepair
+reacts to live bandwidth.  Both are run on the same failed node under the
+TPC-DS trace with identical concurrency:
+
+* on a *quiet* cluster (constant bandwidth) the balanced matrix should be
+  at least as good as reactive planning — there is nothing to react to;
+* under *congestion* the reactive schemes should win, because a balanced
+  matrix computed once cannot avoid whichever nodes saturate later.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import NODE_COUNT, record
+from repro.baselines.repairboost import repair_full_node_balanced
+from repro.core import PivotRepairPlanner
+from repro.core.scheduler import SchedulerConfig
+from repro.ec import RSCode, place_stripes
+from repro.network.topology import StarNetwork
+from repro.repair import (
+    ExecutionConfig,
+    repair_full_node,
+    repair_full_node_adaptive,
+)
+from repro.units import gbps, mib, kib
+
+CHUNKS = 32
+
+
+def stripes_for(code, failed_node, seed):
+    rng = np.random.default_rng(seed)
+    out = []
+    start_id = 0
+    while len(out) < CHUNKS:
+        batch = place_stripes(32, code, NODE_COUNT, rng, start_id=start_id)
+        start_id += 32
+        out.extend(
+            s for s in batch if s.chunk_on_node(failed_node) is not None
+        )
+    return out[:CHUNKS]
+
+
+@pytest.mark.benchmark(group="extension-repairboost")
+def test_balanced_vs_reactive_full_node(
+    benchmark, workload_traces, workload_networks
+):
+    code = RSCode(9, 6)
+    trace = workload_traces["TPC-DS"]
+    congested_network = workload_networks["TPC-DS"]
+    quiet_network = StarNetwork.uniform(NODE_COUNT, gbps(1))
+    failed = int(np.argmax(trace.used_node_bandwidth().mean(axis=1)))
+    stripes = stripes_for(code, failed, seed=8)
+    config = ExecutionConfig(chunk_size=mib(64), slice_size=kib(32))
+
+    def run():
+        results = {}
+        for label, network in (
+            ("quiet", quiet_network),
+            ("congested", congested_network),
+        ):
+            results[label] = {
+                "RepairBoost": repair_full_node_balanced(
+                    network, stripes, failed, concurrency=4, config=config
+                ).total_seconds,
+                "PivotRepair": repair_full_node(
+                    PivotRepairPlanner(), network, stripes, failed,
+                    concurrency=4, config=config,
+                ).total_seconds,
+                "PivotRepair+strategy": repair_full_node_adaptive(
+                    PivotRepairPlanner(), network, stripes, failed,
+                    scheduler=SchedulerConfig(threshold=10.0), config=config,
+                ).total_seconds,
+            }
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        f"Extension E3: full-node repair, {CHUNKS} x 64 MiB, (9,6), "
+        "window=4",
+        f"  {'network':>10} | {'RepairBoost':>11} | {'PivotRepair':>11} | "
+        f"{'+strategy':>10}",
+    ]
+    for label, row in results.items():
+        lines.append(
+            f"  {label:>10} | {row['RepairBoost']:>9.1f} s | "
+            f"{row['PivotRepair']:>9.1f} s | "
+            f"{row['PivotRepair+strategy']:>8.1f} s"
+        )
+    record("extension_repairboost", lines)
+
+    quiet = results["quiet"]
+    congested = results["congested"]
+    # Quiet cluster: balancing is competitive with reactive planning.
+    assert quiet["RepairBoost"] <= quiet["PivotRepair"] * 1.3
+    # Congestion: the reactive schemes beat the static balanced matrix.
+    assert (
+        min(congested["PivotRepair"], congested["PivotRepair+strategy"])
+        < congested["RepairBoost"]
+    )
+    benchmark.extra_info["seconds"] = {
+        label: {k: round(v, 1) for k, v in row.items()}
+        for label, row in results.items()
+    }

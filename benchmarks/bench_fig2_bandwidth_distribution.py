@@ -1,0 +1,55 @@
+"""E-F2: regenerate Figure 2 — used node bandwidth distribution.
+
+The paper plots each node's used bandwidth over 6000 s for the three
+workloads, showing that (i) every node congests at some point, (ii) the
+congested set varies second to second, and (iii) bandwidth fluctuates over
+nearly the full 0..1 Gb/s range.  We emit per-node summary series (mean,
+p95, % of time congested) plus the observation metrics.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record
+from repro.traces import congestion_episode_stats, fig2_series, usage_rates
+from repro.units import to_mbps
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_used_bandwidth_distribution(benchmark, workload_traces):
+    series = benchmark.pedantic(
+        lambda: {n: fig2_series(t) for n, t in workload_traces.items()},
+        rounds=3,
+        iterations=1,
+    )
+    lines = ["Figure 2: used node bandwidth distribution (Mb/s)"]
+    for name, trace in workload_traces.items():
+        used = series[name]
+        rates = usage_rates(trace)
+        stats = congestion_episode_stats(trace, 0.9)
+        lines.append(f"\n{name}  (16 nodes x {trace.sample_count} s)")
+        lines.append(
+            f"  {'node':>5} {'mean':>7} {'p95':>7} {'max':>7} {'%>=90%':>7}"
+        )
+        for node in range(trace.node_count):
+            lines.append(
+                f"  N{node:<4} {to_mbps(used[node].mean()):7.0f} "
+                f"{to_mbps(np.percentile(used[node], 95)):7.0f} "
+                f"{to_mbps(used[node].max()):7.0f} "
+                f"{100 * (rates[node] >= 0.9).mean():6.1f}%"
+            )
+        lines.append(
+            f"  cluster: congested {stats['congested_fraction']:.0%} of "
+            f"time; congested set changes in "
+            f"{stats['congested_set_change_rate']:.0%} of seconds"
+        )
+        # Observation 1 shape assertions.
+        assert ((rates >= 0.9).any(axis=1)).all(), (
+            f"{name}: some node never congests"
+        )
+        assert stats["congested_set_change_rate"] > 0.02
+        benchmark.extra_info[name] = {
+            "congested_fraction": round(stats["congested_fraction"], 3),
+            "set_change_rate": round(stats["congested_set_change_rate"], 3),
+        }
+    record("fig2", lines)

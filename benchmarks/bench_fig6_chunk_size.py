@@ -1,0 +1,45 @@
+"""E-F6b: repair time vs chunk size (Figure 6(b)).
+
+Fixed bandwidth situation, (6, 4), 32 KiB slices, chunk size swept from
+8 MiB to 128 MiB.  Paper shape: repair time grows linearly with chunk size
+for every scheme, and PivotRepair keeps its advantage throughout.
+"""
+
+import pytest
+
+from conftest import record
+from fig5_common import SCHEMES
+from repro.experiments.sweeps import CHUNK_MIB, run_chunk_size_sweep
+
+
+@pytest.mark.benchmark(group="fig6b")
+def test_fig6b_chunk_size_sweep(benchmark):
+    results = benchmark.pedantic(
+        run_chunk_size_sweep, rounds=1, iterations=1
+    )
+    lines = ["Figure 6(b): repair time vs chunk size ((6,4), 32 KiB slices)"]
+    lines.append(
+        f"  {'chunk':>9} | " + " | ".join(f"{s:>12}" for s in SCHEMES)
+    )
+    for chunk_mib, by_scheme in results.items():
+        lines.append(
+            f"  {chunk_mib:>6}MiB | "
+            + " | ".join(f"{by_scheme[s]:>10.2f} s" for s in SCHEMES)
+        )
+    record("fig6b_chunk_size", lines)
+
+    for scheme in SCHEMES:
+        # Clearly increasing with chunk size.
+        assert results[128][scheme] > 2 * results[8][scheme], scheme
+    for chunk_mib in CHUNK_MIB:
+        assert (
+            results[chunk_mib]["PivotRepair"] <= results[chunk_mib]["RP"]
+        )
+    # Linear growth: the 16x chunk-size ratio shows up in the repair time
+    # (constant overheads shrink it slightly below the ideal 16x).
+    ratio = results[128]["PivotRepair"] / results[8]["PivotRepair"]
+    assert 12 < ratio < 20
+    benchmark.extra_info["seconds"] = {
+        str(c): {k: round(v, 3) for k, v in results[c].items()}
+        for c in CHUNK_MIB
+    }

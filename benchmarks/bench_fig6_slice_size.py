@@ -1,0 +1,43 @@
+"""E-F6a: repair time vs slice size (Figure 6(a)).
+
+Fixed bandwidth situation, (6, 4), 64 MiB chunk, slice size swept from
+2 KiB to 1024 KiB.  Paper shape: all schemes essentially flat in slice
+size, with PivotRepair (and PPT) below RP throughout.
+"""
+
+import pytest
+
+from conftest import record
+from fig5_common import SCHEMES
+from repro.experiments.sweeps import SLICE_KIB, run_slice_size_sweep
+
+
+@pytest.mark.benchmark(group="fig6a")
+def test_fig6a_slice_size_sweep(benchmark):
+    results = benchmark.pedantic(
+        run_slice_size_sweep, rounds=1, iterations=1
+    )
+    lines = ["Figure 6(a): repair time vs slice size ((6,4), 64 MiB chunk)"]
+    lines.append(
+        f"  {'slice':>9} | " + " | ".join(f"{s:>12}" for s in SCHEMES)
+    )
+    for slice_kib, by_scheme in results.items():
+        lines.append(
+            f"  {slice_kib:>6}KiB | "
+            + " | ".join(f"{by_scheme[s]:>10.2f} s" for s in SCHEMES)
+        )
+    record("fig6a_slice_size", lines)
+
+    for scheme in SCHEMES:
+        values = [results[s][scheme] for s in SLICE_KIB]
+        # Flat in slice size: spread within 25% of the mean.
+        mean = sum(values) / len(values)
+        assert max(values) - min(values) < 0.25 * mean, scheme
+    for slice_kib in SLICE_KIB:
+        assert (
+            results[slice_kib]["PivotRepair"] < results[slice_kib]["RP"]
+        )
+    benchmark.extra_info["seconds"] = {
+        str(s): {k: round(v, 3) for k, v in results[s].items()}
+        for s in SLICE_KIB
+    }

@@ -1,0 +1,96 @@
+"""E-F7: full-node repair time (Figure 7 / Experiment 6).
+
+Setup per the paper: stripes are written randomly across the cluster, 64
+chunks of one node are erased (64 stripes), and all of them are repaired
+with RP, PPT, PivotRepair, and PivotRepair with the adaptive scheduling
+strategy, for each (n, k).
+
+Paper shape: PivotRepair outperforms RP and PPT; the adaptive strategy
+reduces PivotRepair's node repair time further (up to 16.50% vs RP at
+(9, 6)); PPT's full-node performance collapses at k = 10 because every one
+of the 64 repairs pays the enumeration cost.
+"""
+
+import pytest
+
+from conftest import record
+from repro.experiments.fullnode_experiment import (
+    CONCURRENCY,
+    FIG7_SCHEMES,
+    STRIPES_TO_ERASE,
+    run_figure7,
+)
+from repro.repair import ExecutionConfig
+from repro.units import mib, kib
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_node_repair(benchmark, workload_traces, workload_networks):
+    trace = workload_traces["TPC-DS"]
+    network = workload_networks["TPC-DS"]
+    config = ExecutionConfig(chunk_size=mib(64), slice_size=kib(32))
+
+    results = benchmark.pedantic(
+        run_figure7, args=(trace, network),
+        kwargs={"config": config}, rounds=1, iterations=1,
+    )
+    schemes = list(FIG7_SCHEMES)
+    lines = [
+        f"Figure 7: node repair time ({STRIPES_TO_ERASE} x 64 MiB chunks, "
+        f"TPC-DS trace, window={CONCURRENCY})"
+    ]
+    lines.append(
+        f"  {'(n,k)':>9} | " + " | ".join(f"{s:>21}" for s in schemes)
+    )
+    for code, row in results.items():
+        cells = [f"{row[s].total_seconds:>19.1f} s" for s in schemes]
+        lines.append(f"  {str(code):>9} | " + " | ".join(cells))
+    reductions = [
+        1
+        - results[code]["PivotRepair+strategy"].total_seconds
+        / results[code]["RP"].total_seconds
+        for code in results
+    ]
+    lines.append(
+        "Headline: adaptive PivotRepair reduces node repair time vs RP by "
+        f"up to {100 * max(reductions):.1f}% (paper: up to 16.50%)"
+    )
+    record("fig7_node_repair", lines)
+
+    for code, row in results.items():
+        for result in row.values():
+            assert result.chunks_repaired == STRIPES_TO_ERASE
+        # PivotRepair beats RP on every (n, k).
+        assert (
+            row["PivotRepair"].total_seconds < row["RP"].total_seconds
+        ), code
+        # The adaptive strategy never costs more than a modest margin.
+        # At large k the fluid max-min substrate already reclaims any
+        # misallocated bandwidth, so scheduling freedom buys little (see
+        # EXPERIMENTS.md); and because real wall-clock planning delays
+        # shift which trace-second each plan observes, individual cells
+        # vary ~15% between runs — hence the generous bound.
+        assert (
+            row["PivotRepair+strategy"].total_seconds
+            <= row["PivotRepair"].total_seconds * 1.40
+        ), code
+    # ... and wins clearly on at least half of the codes (at large k every
+    # tree spans nearly the whole cluster, so scheduling freedom vanishes
+    # — the same effect the paper notes shrinks full-node gains).
+    clear_wins = sum(
+        row["PivotRepair+strategy"].total_seconds
+        < row["PivotRepair"].total_seconds * 0.95
+        for row in results.values()
+    )
+    assert clear_wins >= 2
+    # PPT's full-node repair collapses at k = 10.
+    assert (
+        results[(14, 10)]["PPT"].total_seconds
+        > 10 * results[(14, 10)]["PivotRepair"].total_seconds
+    )
+    # The adaptive strategy helps overall.
+    assert max(reductions) > 0.05
+    benchmark.extra_info["seconds"] = {
+        str(code): {s: round(row[s].total_seconds, 1) for s in schemes}
+        for code, row in results.items()
+    }

@@ -1,0 +1,72 @@
+"""Validation V1: fluid pipeline model vs slice-level discrete simulation.
+
+The headline experiments run on the fluid executor; this bench quantifies
+the abstraction error against the slice-level ground truth of Section IV-D
+across congested snapshots and all three schemes.
+"""
+
+import pytest
+
+from conftest import NODE_COUNT, REPAIR_FLOOR, congested_instants, record
+from fig5_common import SCHEMES, make_planner, stripe_nodes_at
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.repair.pipeline import ExecutionConfig
+from repro.repair.slicesim import fluid_estimate, simulate_slices
+from repro.units import kib, mib
+
+
+@pytest.mark.benchmark(group="validation-slicesim")
+def test_fluid_model_tracks_slice_level(benchmark, workload_traces):
+    trace = workload_traces["TPC-DS"]
+    config = ExecutionConfig(chunk_size=mib(64), slice_size=kib(32))
+
+    def run():
+        deviations = {scheme: [] for scheme in SCHEMES}
+        for index, instant in enumerate(congested_instants(trace, 20, 3)):
+            snapshot = BandwidthSnapshot(
+                up={
+                    n: max(
+                        float(trace.available_up()[n, int(instant)]),
+                        REPAIR_FLOOR,
+                    )
+                    for n in range(NODE_COUNT)
+                },
+                down={
+                    n: max(
+                        float(trace.available_down()[n, int(instant)]),
+                        REPAIR_FLOOR,
+                    )
+                    for n in range(NODE_COUNT)
+                },
+            )
+            requestor, survivors = stripe_nodes_at(
+                trace, instant, 9, seed=index
+            )
+            for scheme in SCHEMES:
+                plan = make_planner(scheme).plan(
+                    snapshot, requestor, survivors, 6
+                )
+                discrete = simulate_slices(plan.tree, snapshot, config)
+                fluid = fluid_estimate(plan.tree, snapshot, config)
+                deviations[scheme].append(discrete / fluid - 1.0)
+        return deviations
+
+    deviations = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Validation V1: slice-level vs fluid transfer time, 20 congested "
+        "TPC-DS snapshots, (9,6), 64 MiB / 32 KiB"
+    ]
+    for scheme, values in deviations.items():
+        mean = sum(values) / len(values)
+        worst = max(values, key=abs)
+        lines.append(
+            f"  {scheme:>12}: mean deviation {100 * mean:+.2f}%, "
+            f"worst {100 * worst:+.2f}%"
+        )
+        # The fluid model may only *underestimate* slightly (perfect
+        # overlap) and must stay within 15% of the ground truth.
+        assert all(-0.02 <= v <= 0.15 for v in values), scheme
+    record("validation_slicesim", lines)
+    benchmark.extra_info["mean_deviation"] = {
+        scheme: round(sum(v) / len(v), 4) for scheme, v in deviations.items()
+    }

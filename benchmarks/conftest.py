@@ -1,0 +1,84 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Results print to
+stdout (run with ``-s`` to see them live) and are appended to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can cite them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.experiments import congested_instants as _congested_instants
+from repro.traces import generate_all
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The paper's code parameters (Section V-B).
+PAPER_CODES = [(6, 4), (9, 6), (12, 8), (14, 10)]
+
+#: Nodes and trace length of the paper's measurement setup.
+NODE_COUNT = 16
+TRACE_SECONDS = 6000
+
+#: Minimum available bandwidth kept for repair traffic (8 Mb/s floor),
+#: mirroring production repair-bandwidth reservations.
+REPAIR_FLOOR = 1e6
+
+
+@pytest.fixture(scope="session")
+def workload_traces():
+    """The three synthetic workload traces (16 nodes x 6000 s)."""
+    return generate_all(
+        node_count=NODE_COUNT, duration=TRACE_SECONDS, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def workload_networks(workload_traces):
+    """Star networks replaying each workload's available bandwidth."""
+    return {
+        name: trace.to_network(floor=REPAIR_FLOOR)
+        for name, trace in workload_traces.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def fig5_results(workload_traces, workload_networks):
+    """Shared Figure 5 runs; the (a-c)/(d-f)/(g-i) benches read columns."""
+    from fig5_common import run_figure5
+
+    return run_figure5(workload_traces, workload_networks)
+
+
+def congested_instants(trace, count: int, seed: int = 1) -> list[float]:
+    """Congested-second sampling (delegates to repro.experiments)."""
+    return _congested_instants(trace, count, seed)
+
+
+def repair_endpoints(network, instant: float, node_count: int = NODE_COUNT):
+    """Pick (requestor, candidates) for a single-chunk repair experiment.
+
+    The failed node is the most congested node at the instant (its chunk is
+    the one being read); the requestor is the max-downlink node among the
+    rest, matching the paper's requestor policy.
+    """
+    snapshot = BandwidthSnapshot.from_network(network, instant)
+    failed = min(range(node_count), key=snapshot.theo)
+    rest = [n for n in range(node_count) if n != failed]
+    requestor = max(rest, key=snapshot.down_of)
+    candidates = [n for n in rest if n != requestor]
+    return requestor, candidates
+
+
+def record(name: str, lines: list[str]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n{text}")
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")

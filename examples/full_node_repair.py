@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Full-node repair with and without adaptive scheduling (Section IV-E).
+
+Fails one node of a 16-node cluster holding (6, 4) stripes under a
+TPC-DS-like congestion trace and repairs all its lost chunks with:
+
+* RP with a fixed-concurrency window,
+* PivotRepair with the same fixed window,
+* PivotRepair with the adaptive scheduling strategy (Eq. 3).
+
+Run:  python examples/full_node_repair.py
+"""
+
+import numpy as np
+
+from repro import (
+    PivotRepairPlanner,
+    RPPlanner,
+    RSCode,
+    SchedulerConfig,
+    repair_full_node,
+    repair_full_node_adaptive,
+)
+from repro.ec import place_stripes
+from repro.repair import ExecutionConfig
+from repro.traces import TPC_DS, generate_trace
+from repro.units import mib, kib
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    trace = generate_trace(TPC_DS, node_count=16, duration=1200, seed=3)
+    network = trace.to_network(floor=1e6)
+    code = RSCode(6, 4)
+    stripes = place_stripes(24, code, 16, rng)
+    failed_node = stripes[0].placement[0]
+    lost = sum(1 for s in stripes if s.chunk_on_node(failed_node) is not None)
+    config = ExecutionConfig(chunk_size=mib(16), slice_size=kib(32))
+    print(
+        f"Node {failed_node} failed: {lost} chunks of 16 MiB to repair "
+        f"across {len(stripes)} stripes.\n"
+    )
+
+    rows = []
+    for name, run in [
+        (
+            "RP (window=4)",
+            lambda: repair_full_node(
+                RPPlanner(), network, stripes, failed_node,
+                concurrency=4, config=config,
+            ),
+        ),
+        (
+            "PivotRepair (window=4)",
+            lambda: repair_full_node(
+                PivotRepairPlanner(), network, stripes, failed_node,
+                concurrency=4, config=config,
+            ),
+        ),
+        (
+            "PivotRepair + strategy",
+            lambda: repair_full_node_adaptive(
+                PivotRepairPlanner(), network, stripes, failed_node,
+                scheduler=SchedulerConfig(alpha=1.0, beta=2.0, threshold=50.0),
+                config=config,
+            ),
+        ),
+    ]:
+        result = run()
+        rows.append((name, result))
+        print(
+            f"{name:>24}: {result.total_seconds:7.1f} s total, "
+            f"{result.mean_task_seconds:5.1f} s per chunk, "
+            f"{result.repair_rate_chunks_per_second() * 60:5.1f} chunks/min"
+        )
+
+    baseline = rows[0][1].total_seconds
+    best = min(result.total_seconds for _, result in rows)
+    print(
+        f"\nBest scheme repairs the node "
+        f"{100 * (1 - best / baseline):.1f}% faster than RP."
+    )
+
+
+if __name__ == "__main__":
+    main()

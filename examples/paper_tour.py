@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""A fast guided tour of every result in the paper.
+
+Runs miniature versions of all the evaluation artefacts — short traces,
+small chunk sizes — and prints one compact report.  The full-scale runs
+live in ``benchmarks/`` (`pytest benchmarks/ --benchmark-only`); this tour
+finishes in well under a minute.
+
+Run:  python examples/paper_tour.py
+"""
+
+from repro.experiments import ExperimentSettings, run_figure5
+from repro.experiments.fullnode_experiment import run_figure7
+from repro.experiments.sweeps import run_chunk_size_sweep, run_slice_size_sweep
+from repro.repair import ExecutionConfig
+from repro.reporting import bar_chart, format_seconds, format_table
+from repro.traces import generate_all, pivot_availability, table1
+from repro.units import mib, kib
+
+DURATION = 900  # short traces keep the tour fast (full runs use 6000 s)
+
+
+def show_table1(traces) -> None:
+    print("== Table I: % of congested time with C_v > 0.5 ==")
+    paper = {"TPC-DS": 37.6, "TPC-H": 61.2, "SWIM": 24.4}
+    rows = [
+        (
+            row.workload,
+            f"{row.percent(0.95):.1f}%",
+            f"{paper[row.workload]:.1f}%",
+        )
+        for row in table1(traces)
+    ]
+    print(format_table(["workload", "ours (>=95%)", "paper"], rows))
+    print("\npivots per 16 nodes during congestion "
+          "(Observation 2):")
+    for name, trace in traces.items():
+        print(f"  {name:>7}: {pivot_availability(trace):.1f}")
+
+
+def show_figure5(traces, networks) -> None:
+    print("\n== Figure 5: single-chunk repair, (9,6), 16 MiB ==")
+    settings = ExperimentSettings(codes=[(9, 6)])
+    results = run_figure5(traces, networks, settings)
+    rows = []
+    for name, by_code in results.items():
+        cell = by_code[(9, 6)]
+        rows.append(
+            (
+                name,
+                format_seconds(cell["RP"].overall_seconds),
+                format_seconds(cell["PPT"].overall_seconds),
+                format_seconds(cell["PivotRepair"].overall_seconds),
+            )
+        )
+    print(format_table(["workload", "RP", "PPT", "PivotRepair"], rows))
+
+
+def show_figure6() -> None:
+    print("\n== Figure 6(a): flat in slice size ((6,4), 8 MiB chunk) ==")
+    sweep = run_slice_size_sweep(slice_kib=[2, 32, 512], chunk_mib=8)
+    for size, row in sweep.items():
+        print(f"  {size:>4} KiB slices: "
+              f"PivotRepair {row['PivotRepair']:.2f} s, RP {row['RP']:.2f} s")
+    print("\n== Figure 6(b): linear in chunk size ((6,4), 32 KiB slices) ==")
+    sweep = run_chunk_size_sweep(chunk_mib=[8, 32, 128])
+    print(
+        bar_chart(
+            [f"{size} MiB" for size in sweep],
+            [round(row["PivotRepair"], 2) for row in sweep.values()],
+            width=30,
+            unit=" s",
+        )
+    )
+
+
+def show_figure7(traces, networks) -> None:
+    print("\n== Figure 7: full-node repair, 8 x 8 MiB chunks, (6,4) ==")
+    settings = ExperimentSettings(codes=[(6, 4)])
+    results = run_figure7(
+        traces["TPC-DS"], networks["TPC-DS"], settings,
+        config=ExecutionConfig(chunk_size=mib(8), slice_size=kib(32)),
+        chunks=8,
+    )
+    row = results[(6, 4)]
+    print(
+        format_table(
+            ["scheme", "node repair time"],
+            [
+                (name, format_seconds(result.total_seconds))
+                for name, result in row.items()
+            ],
+        )
+    )
+
+
+def main() -> None:
+    print(f"Generating the three workload traces ({DURATION} s each)...\n")
+    traces = generate_all(duration=DURATION, seed=0)
+    networks = {
+        name: trace.to_network(floor=1e6) for name, trace in traces.items()
+    }
+    show_table1(traces)
+    show_figure5(traces, networks)
+    show_figure6()
+    show_figure7(traces, networks)
+    print("\nFull-scale runs: pytest benchmarks/ --benchmark-only")
+
+
+if __name__ == "__main__":
+    main()

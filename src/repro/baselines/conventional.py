@@ -1,0 +1,36 @@
+"""Conventional erasure-coded repair (Figure 1(a)).
+
+The requestor downloads k whole chunks from k helpers in parallel and
+decodes locally.  The requestor's downlink carries k chunks of traffic,
+making it roughly k times more congested than any helper — the congestion
+problem motivating the whole line of work.
+"""
+
+from __future__ import annotations
+
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.plan import RepairPlan, RepairPlanner
+
+
+class ConventionalPlanner(RepairPlanner):
+    """Star-shaped bulk download of k chunks."""
+
+    name = "Conventional"
+
+    def _build(
+        self,
+        snapshot: BandwidthSnapshot,
+        requestor: int,
+        candidates: list[int],
+        k: int,
+    ) -> RepairPlan:
+        helpers = list(candidates)[:k]
+        stage = [(helper, requestor) for helper in helpers]
+        bmin = min(snapshot.link(src, dst) for src, dst in stage)
+        return RepairPlan(
+            scheme=self.name,
+            requestor=requestor,
+            helpers=sorted(helpers),
+            stages=[stage],
+            bmin=bmin,
+        )

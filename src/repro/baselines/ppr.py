@@ -1,0 +1,67 @@
+"""Partial-Parallel-Repair (PPR) baseline [Mitra et al., EuroSys'16].
+
+PPR splits a repair into ``ceil(log2(k+1))`` rounds of pairwise partial
+XOR-aggregations, halving the set of partial results each round until the
+requestor holds the rebuilt chunk.  Traffic is spread across helpers, but
+rounds are *barriers*: round j+1 cannot start before round j finishes, and
+the full chunk crosses each hop (no slicing), so PPR does not pipeline
+(Section II-C, Figure 1(b)).
+"""
+
+from __future__ import annotations
+
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.plan import RepairPlan, RepairPlanner
+
+
+def ppr_stages(
+    requestor: int, helpers: list[int]
+) -> list[list[tuple[int, int]]]:
+    """Transfer rounds of PPR: pairwise merging, then a final hop to R.
+
+    In each round, active holders are paired (i+1 -> i); survivors of the
+    last round send to the requestor.
+    """
+    stages: list[list[tuple[int, int]]] = []
+    active = list(helpers)
+    while len(active) > 1:
+        round_transfers = []
+        survivors = []
+        for i in range(0, len(active) - 1, 2):
+            round_transfers.append((active[i + 1], active[i]))
+            survivors.append(active[i])
+        if len(active) % 2 == 1:
+            survivors.append(active[-1])
+        stages.append(round_transfers)
+        active = survivors
+    stages.append([(active[0], requestor)])
+    return stages
+
+
+class PPRPlanner(RepairPlanner):
+    """Round-based partial-parallel repair."""
+
+    name = "PPR"
+
+    def _build(
+        self,
+        snapshot: BandwidthSnapshot,
+        requestor: int,
+        candidates: list[int],
+        k: int,
+    ) -> RepairPlan:
+        helpers = list(candidates)[:k]
+        stages = ppr_stages(requestor, helpers)
+        # PPR has no single pipeline bottleneck; report the slowest link of
+        # the slowest round as an indicative figure.
+        bmin = min(
+            min(snapshot.link(src, dst) for src, dst in stage)
+            for stage in stages
+        )
+        return RepairPlan(
+            scheme=self.name,
+            requestor=requestor,
+            helpers=sorted(helpers),
+            stages=stages,
+            bmin=bmin,
+        )

@@ -1,0 +1,446 @@
+"""Command-line interface.
+
+One entry point (``repro``) with subcommands mirroring the library's
+workflow:
+
+* ``repro trace generate``  — synthesise a workload trace to an .npz file;
+* ``repro trace analyze``   — Table I / Observation statistics of a trace;
+* ``repro plan``            — plan one single-chunk repair from a JSON
+  bandwidth snapshot and print the tree;
+* ``repro repair``          — simulate a single-chunk repair on a trace
+  with every scheme and compare timings;
+* ``repro fullnode``        — simulate a full-node repair on a trace;
+* ``repro experiment``      — regenerate a paper table or figure
+  (``table1``, ``fig5``, ``fig6a``, ``fig6b``, ``fig7``).
+
+Every command supports ``--json`` for machine-readable output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import PPTPlanner, RPPlanner
+from repro.core import BandwidthSnapshot, PivotRepairPlanner
+from repro.core.scheduler import SchedulerConfig
+from repro.ec import RSCode, place_stripes
+from repro.exceptions import ReproError
+from repro.repair import (
+    ExecutionConfig,
+    repair_full_node,
+    repair_full_node_adaptive,
+    repair_single_chunk,
+)
+from repro.reporting import format_mbps, format_seconds, format_table
+from repro.traces import (
+    PROFILES,
+    WorkloadTrace,
+    congestion_episode_stats,
+    generate_trace,
+    heterogeneous_congestion_fraction,
+    pivot_availability,
+)
+from repro.units import kib, mib, to_mbps
+
+SCHEME_FACTORIES = {
+    "pivot": PivotRepairPlanner,
+    "rp": RPPlanner,
+    "ppt": lambda: PPTPlanner(tree_budget=20_000),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PivotRepair reproduction toolkit",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of tables"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    trace = commands.add_parser("trace", help="workload traces")
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+
+    generate = trace_commands.add_parser("generate")
+    generate.add_argument(
+        "--workload", choices=sorted(PROFILES), required=True
+    )
+    generate.add_argument("--nodes", type=int, default=16)
+    generate.add_argument("--duration", type=int, default=6000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", type=Path, required=True)
+
+    analyze = trace_commands.add_parser("analyze")
+    analyze.add_argument("trace", type=Path)
+
+    plan = commands.add_parser("plan", help="plan one single-chunk repair")
+    plan.add_argument(
+        "--bandwidths",
+        type=Path,
+        required=True,
+        help='JSON: {"up": {"0": mbps, ...}, "down": {...}}',
+    )
+    plan.add_argument("--requestor", type=int, required=True)
+    plan.add_argument("--k", type=int, required=True)
+    plan.add_argument(
+        "--scheme", choices=sorted(SCHEME_FACTORIES), default="pivot"
+    )
+
+    repair = commands.add_parser(
+        "repair", help="simulate a single-chunk repair on a trace"
+    )
+    repair.add_argument("trace", type=Path)
+    repair.add_argument("--n", type=int, default=9)
+    repair.add_argument("--k", type=int, default=6)
+    repair.add_argument("--instant", type=float, default=None)
+    repair.add_argument("--chunk-mib", type=float, default=64)
+    repair.add_argument("--slice-kib", type=float, default=32)
+    repair.add_argument("--seed", type=int, default=0)
+
+    fullnode = commands.add_parser(
+        "fullnode", help="simulate a full-node repair on a trace"
+    )
+    fullnode.add_argument("trace", type=Path)
+    fullnode.add_argument("--n", type=int, default=6)
+    fullnode.add_argument("--k", type=int, default=4)
+    fullnode.add_argument("--stripes", type=int, default=16)
+    fullnode.add_argument("--chunk-mib", type=float, default=64)
+    fullnode.add_argument("--concurrency", type=int, default=4)
+    fullnode.add_argument("--seed", type=int, default=0)
+    fullnode.add_argument(
+        "--adaptive", action="store_true",
+        help="also run PivotRepair with the adaptive strategy",
+    )
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper table or figure"
+    )
+    experiment.add_argument(
+        "name", choices=["table1", "fig5", "fig6a", "fig6b", "fig7"]
+    )
+    experiment.add_argument(
+        "--duration", type=int, default=6000,
+        help="trace length in seconds (smaller = faster, noisier)",
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.add_argument(
+        "--chunks", type=int, default=16,
+        help="fig7: chunks erased from the failed node",
+    )
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------
+def _cmd_trace_generate(args) -> dict:
+    trace = generate_trace(
+        PROFILES[args.workload],
+        node_count=args.nodes,
+        duration=args.duration,
+        seed=args.seed,
+    )
+    trace.save(args.out)
+    return {
+        "workload": args.workload,
+        "nodes": trace.node_count,
+        "duration": trace.sample_count,
+        "out": str(args.out),
+    }
+
+
+def _cmd_trace_analyze(args) -> dict:
+    trace = WorkloadTrace.load(args.trace)
+    stats = congestion_episode_stats(trace, 0.9)
+    return {
+        "name": trace.name,
+        "nodes": trace.node_count,
+        "duration_seconds": trace.sample_count,
+        "congested_fraction": round(stats["congested_fraction"], 4),
+        "congested_set_change_rate": round(
+            stats["congested_set_change_rate"], 4
+        ),
+        "mean_pivots_under_congestion": round(pivot_availability(trace), 2),
+        "cv_gt_0.5_given_congestion": {
+            f"{threshold:.0%}": round(
+                100
+                * heterogeneous_congestion_fraction(trace, threshold),
+                1,
+            )
+            for threshold in (0.90, 0.95, 1.00)
+        },
+    }
+
+
+def _cmd_plan(args) -> dict:
+    payload = json.loads(args.bandwidths.read_text())
+    try:
+        up = {int(node): float(v) for node, v in payload["up"].items()}
+        down = {int(node): float(v) for node, v in payload["down"].items()}
+    except (KeyError, TypeError, ValueError) as error:
+        raise ReproError(f"malformed bandwidth file: {error}") from error
+    snapshot = BandwidthSnapshot(up=up, down=down)
+    candidates = [n for n in sorted(up) if n != args.requestor]
+    planner = SCHEME_FACTORIES[args.scheme]()
+    plan = planner.plan(snapshot, args.requestor, candidates, args.k)
+    return {
+        "scheme": plan.scheme,
+        "requestor": plan.requestor,
+        "helpers": plan.helpers,
+        "edges": plan.tree.edges() if plan.tree else None,
+        "tree": plan.tree.render() if plan.tree else None,
+        "bmin_mbps": round(to_mbps(plan.bmin), 1),
+        "planning_seconds": plan.effective_planning_seconds,
+    }
+
+
+def _repair_endpoints(trace, instant, n, seed):
+    rng = np.random.default_rng(seed)
+    members = sorted(
+        rng.choice(trace.node_count, size=n, replace=False).tolist()
+    )
+    usage = trace.used_node_bandwidth()[:, int(instant)]
+    failed = max(members, key=lambda node: usage[node])
+    survivors = [node for node in members if node != failed]
+    outside = [
+        node for node in range(trace.node_count) if node not in members
+    ]
+    available = trace.available_node_bandwidth()[:, int(instant)]
+    requestor = max(outside, key=lambda node: available[node])
+    return requestor, survivors
+
+
+def _cmd_repair(args) -> dict:
+    trace = WorkloadTrace.load(args.trace)
+    network = trace.to_network(floor=1e6)
+    if args.instant is None:
+        rates = trace.used_node_bandwidth() / trace.capacity
+        instant = float(np.argmax((rates >= 0.9).sum(axis=0)))
+    else:
+        instant = args.instant
+    requestor, survivors = _repair_endpoints(
+        trace, instant, args.n, args.seed
+    )
+    config = ExecutionConfig(
+        chunk_size=mib(args.chunk_mib), slice_size=kib(args.slice_kib)
+    )
+    results = {}
+    for name, factory in SCHEME_FACTORIES.items():
+        result = repair_single_chunk(
+            factory(), network, requestor, survivors, args.k,
+            start_time=instant, config=config,
+        )
+        results[name] = {
+            "planning_seconds": result.planning_seconds,
+            "transfer_seconds": round(result.transfer_seconds, 3),
+            "total_seconds": round(result.total_seconds, 3),
+            "bmin_mbps": round(to_mbps(result.bmin), 1),
+        }
+    return {
+        "trace": trace.name,
+        "instant": instant,
+        "requestor": requestor,
+        "n": args.n,
+        "k": args.k,
+        "schemes": results,
+    }
+
+
+def _cmd_fullnode(args) -> dict:
+    trace = WorkloadTrace.load(args.trace)
+    network = trace.to_network(floor=1e6)
+    code = RSCode(args.n, args.k)
+    rng = np.random.default_rng(args.seed)
+    stripes = place_stripes(
+        args.stripes, code, trace.node_count, rng
+    )
+    failed = stripes[0].placement[0]
+    config = ExecutionConfig(chunk_size=mib(args.chunk_mib))
+    runs = {
+        "rp": repair_full_node(
+            RPPlanner(), network, stripes, failed,
+            concurrency=args.concurrency, config=config,
+        ),
+        "pivot": repair_full_node(
+            PivotRepairPlanner(), network, stripes, failed,
+            concurrency=args.concurrency, config=config,
+        ),
+    }
+    if args.adaptive:
+        runs["pivot+strategy"] = repair_full_node_adaptive(
+            PivotRepairPlanner(), network, stripes, failed,
+            scheduler=SchedulerConfig(threshold=10.0), config=config,
+        )
+    return {
+        "trace": trace.name,
+        "failed_node": failed,
+        "chunks": runs["rp"].chunks_repaired,
+        "schemes": {
+            name: {
+                "total_seconds": round(result.total_seconds, 2),
+                "mean_task_seconds": round(result.mean_task_seconds, 2),
+            }
+            for name, result in runs.items()
+        },
+    }
+
+
+def _cmd_experiment(args) -> dict:
+    from repro.experiments import run_figure5
+    from repro.experiments.fullnode_experiment import run_figure7
+    from repro.experiments.sweeps import (
+        run_chunk_size_sweep,
+        run_slice_size_sweep,
+    )
+    from repro.traces import generate_all, table1
+
+    if args.name in ("fig6a", "fig6b"):
+        sweep = (
+            run_slice_size_sweep() if args.name == "fig6a"
+            else run_chunk_size_sweep()
+        )
+        unit = "KiB" if args.name == "fig6a" else "MiB"
+        return {
+            "experiment": args.name,
+            "unit": unit,
+            "rows": {
+                str(size): {k: round(v, 3) for k, v in row.items()}
+                for size, row in sweep.items()
+            },
+        }
+    traces = generate_all(duration=args.duration, seed=args.seed)
+    if args.name == "table1":
+        rows = table1(traces)
+        return {
+            "experiment": "table1",
+            "rows": {
+                row.workload: {
+                    f"{t:.0%}": round(row.percent(t), 1)
+                    for t in row.by_threshold
+                }
+                for row in rows
+            },
+        }
+    networks = {
+        name: trace.to_network(floor=1e6) for name, trace in traces.items()
+    }
+    if args.name == "fig5":
+        results = run_figure5(traces, networks)
+        return {
+            "experiment": "fig5",
+            "rows": {
+                name: {
+                    str(code): {
+                        scheme: {
+                            "planning_s": cell.planning_seconds,
+                            "transfer_s": round(cell.transfer_seconds, 3),
+                            "overall_s": round(cell.overall_seconds, 3),
+                        }
+                        for scheme, cell in by_scheme.items()
+                    }
+                    for code, by_scheme in by_code.items()
+                }
+                for name, by_code in results.items()
+            },
+        }
+    results = run_figure7(
+        traces["TPC-DS"], networks["TPC-DS"], chunks=args.chunks
+    )
+    return {
+        "experiment": "fig7",
+        "chunks": args.chunks,
+        "rows": {
+            str(code): {
+                scheme: round(result.total_seconds, 1)
+                for scheme, result in row.items()
+            }
+            for code, row in results.items()
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _render(args, payload: dict) -> str:
+    if args.json:
+        return json.dumps(payload, indent=2)
+    if args.command == "plan":
+        lines = [
+            f"scheme: {payload['scheme']}",
+            f"B_min: {payload['bmin_mbps']} Mb/s",
+            f"planning: {format_seconds(payload['planning_seconds'])}",
+        ]
+        if payload["tree"]:
+            lines.append(payload["tree"])
+        return "\n".join(lines)
+    if args.command == "repair":
+        rows = [
+            (
+                name,
+                format_mbps(values["bmin_mbps"] * 125_000),
+                format_seconds(values["planning_seconds"]),
+                format_seconds(values["transfer_seconds"]),
+                format_seconds(values["total_seconds"]),
+            )
+            for name, values in payload["schemes"].items()
+        ]
+        header = (
+            f"single-chunk repair on {payload['trace']} at "
+            f"t={payload['instant']:.0f}s, (n,k)=({payload['n']},"
+            f"{payload['k']}), requestor N{payload['requestor']}"
+        )
+        table = format_table(
+            ["scheme", "B_min", "plan", "transfer", "total"], rows
+        )
+        return header + "\n" + table
+    if args.command == "fullnode":
+        rows = [
+            (name, f"{v['total_seconds']} s", f"{v['mean_task_seconds']} s")
+            for name, v in payload["schemes"].items()
+        ]
+        header = (
+            f"full-node repair on {payload['trace']}: node "
+            f"{payload['failed_node']}, {payload['chunks']} chunks"
+        )
+        return header + "\n" + format_table(
+            ["scheme", "total", "mean/task"], rows
+        )
+    if args.command == "experiment":
+        return json.dumps(payload, indent=2)
+    # trace generate/analyze: key-value listing.
+    return "\n".join(f"{key}: {value}" for key, value in payload.items())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "trace":
+            if args.trace_command == "generate":
+                payload = _cmd_trace_generate(args)
+            else:
+                payload = _cmd_trace_analyze(args)
+        elif args.command == "plan":
+            payload = _cmd_plan(args)
+        elif args.command == "repair":
+            payload = _cmd_repair(args)
+        elif args.command == "experiment":
+            payload = _cmd_experiment(args)
+        else:
+            payload = _cmd_fullnode(args)
+    except (ReproError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(_render(args, payload))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Data node: stores chunk payloads and performs repair-time computation.
+
+A :class:`DataNode` mirrors the paper's prototype Data-Node role: it holds
+coded chunks and, during a pipelined repair, multiplies its chunk by its
+decoding coefficient and XOR-aggregates the partial results received from
+its children before forwarding upstream (Section II-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ec.chunk import ChunkId
+from repro.ec.field import GF256, GaloisField
+from repro.exceptions import ClusterError
+
+
+class DataNode:
+    """One storage node's state."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._chunks: dict[ChunkId, np.ndarray] = {}
+        self.alive = True
+
+    def __repr__(self) -> str:
+        status = "up" if self.alive else "down"
+        return f"DataNode(id={self.node_id}, chunks={len(self._chunks)}, {status})"
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+    def store(self, chunk_id: ChunkId, payload: np.ndarray) -> None:
+        self._require_alive()
+        self._chunks[chunk_id] = np.asarray(payload, dtype=np.uint8)
+
+    def read(self, chunk_id: ChunkId) -> np.ndarray:
+        self._require_alive()
+        try:
+            return self._chunks[chunk_id]
+        except KeyError:
+            raise ClusterError(
+                f"node {self.node_id} does not store {chunk_id}"
+            ) from None
+
+    def has(self, chunk_id: ChunkId) -> bool:
+        return self.alive and chunk_id in self._chunks
+
+    def chunk_ids(self) -> list[ChunkId]:
+        return sorted(
+            self._chunks, key=lambda c: (c.stripe_id, c.chunk_index)
+        )
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self._chunks)
+
+    # ------------------------------------------------------------------
+    # Failure
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Crash the node: its data becomes unavailable (and is dropped)."""
+        self.alive = False
+        self._chunks.clear()
+
+    def recover(self) -> None:
+        """Bring the node back empty (a replacement node)."""
+        self.alive = True
+
+    def _require_alive(self) -> None:
+        if not self.alive:
+            raise ClusterError(f"node {self.node_id} is down")
+
+    # ------------------------------------------------------------------
+    # Repair-time computation (Section II-B linearity)
+    # ------------------------------------------------------------------
+    def partial_result(
+        self,
+        chunk_id: ChunkId,
+        coefficient: int,
+        child_results: list[np.ndarray],
+        field: GaloisField = GF256,
+    ) -> np.ndarray:
+        """coefficient * own_chunk XOR (partial results from children)."""
+        self._require_alive()
+        own = field.mul_slice(coefficient, self.read(chunk_id))
+        for child in child_results:
+            child = np.asarray(child, dtype=field.dtype)
+            if child.shape != own.shape:
+                raise ClusterError(
+                    "partial result size mismatch — Property 1 violated"
+                )
+            own ^= child
+        return own

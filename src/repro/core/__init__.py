@@ -1,0 +1,43 @@
+"""PivotRepair core: bandwidth views, repair trees, Algorithm 1, scheduling."""
+
+from repro.core.algorithm import (
+    PivotRepairPlanner,
+    build_pivot_tree,
+    insert_pivots,
+    replace_leaves,
+    select_pivots,
+)
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.compute import (
+    ComputeAwarePlanner,
+    ComputeView,
+    timeslot_schedule,
+)
+from repro.core.plan import RepairPlan, RepairPlanner
+from repro.core.rack_aware import (
+    RackAwarePivotPlanner,
+    RackSnapshot,
+    rack_bmin,
+)
+from repro.core.scheduler import SchedulerConfig, recommendation_value
+from repro.core.tree import RepairTree
+
+__all__ = [
+    "BandwidthSnapshot",
+    "ComputeAwarePlanner",
+    "ComputeView",
+    "PivotRepairPlanner",
+    "RackAwarePivotPlanner",
+    "RackSnapshot",
+    "RepairPlan",
+    "RepairPlanner",
+    "RepairTree",
+    "SchedulerConfig",
+    "rack_bmin",
+    "recommendation_value",
+    "timeslot_schedule",
+    "build_pivot_tree",
+    "insert_pivots",
+    "replace_leaves",
+    "select_pivots",
+]

@@ -1,0 +1,147 @@
+"""Algorithm 1 of the paper: pivot-based pipelined repair tree construction.
+
+Two steps (Section IV-B):
+
+1. **Inserting** — the k candidates with the largest theoretical available
+   node bandwidth ``theo(i) = min(up(i), down(i))`` are the *pivots*.  They
+   are inserted in descending theo(.) order; each new pivot becomes a child
+   of the tree node with the largest *practical* bandwidth
+   ``prac(i) = min(up(i), down(i) / (c_i + 1))`` (the bandwidth the new
+   child's link would get, since the parent's downlink is split among its
+   children).  A priority queue makes each choice O(log n).
+2. **Replacing** — leaves only contribute their uplink to B_min, so leaves
+   with weak uplinks are swapped for unselected nodes with stronger uplinks
+   (keeping the tree shape, hence min{S_nl}, intact — Lemma 3).
+
+Total cost is O(n log n); Theorem 1 shows the result maximises B_min.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Sequence
+
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.plan import RepairPlan, RepairPlanner
+from repro.core.tree import RepairTree
+from repro.exceptions import PlanningError
+
+
+def select_pivots(
+    snapshot: BandwidthSnapshot, candidates: Sequence[int], k: int
+) -> list[int]:
+    """The k candidates with the largest theo(.), in descending order.
+
+    Ties break on node id so planning is deterministic.
+    """
+    if len(candidates) < k:
+        raise PlanningError(
+            f"need at least k={k} candidates, got {len(candidates)}"
+        )
+    ranked = sorted(candidates, key=lambda node: (-snapshot.theo(node), node))
+    return ranked[:k]
+
+
+def _prac(
+    snapshot: BandwidthSnapshot,
+    node: int,
+    requestor: int,
+    child_count: int,
+) -> float:
+    """Bandwidth a new child's link would receive under node ``node``.
+
+    The node's downlink will be split among ``child_count + 1`` children.
+    The requestor never uploads during a repair, so its uplink does not
+    constrain it (cf. the Lemma 2 base case, prac(R) = down(R)).
+    """
+    down_share = snapshot.down_of(node) / (child_count + 1)
+    if node == requestor:
+        return down_share
+    return min(snapshot.up_of(node), down_share)
+
+
+def insert_pivots(
+    snapshot: BandwidthSnapshot, requestor: int, pivots: Sequence[int]
+) -> dict[int, int]:
+    """Step 1 (Inserting): attach each pivot under the max-prac tree node.
+
+    Returns child -> parent pointers of the preliminary tree.
+    """
+    parents: dict[int, int] = {}
+    child_count: dict[int, int] = {requestor: 0}
+    # Each tree node has exactly one live heap entry; entries are
+    # (-prac, node) so ties resolve toward smaller node ids.
+    heap: list[tuple[float, int]] = [
+        (-_prac(snapshot, requestor, requestor, 0), requestor)
+    ]
+    for pivot in pivots:
+        neg_prac, parent = heapq.heappop(heap)
+        parents[pivot] = parent
+        child_count[parent] += 1
+        child_count[pivot] = 0
+        heapq.heappush(
+            heap,
+            (-_prac(snapshot, parent, requestor, child_count[parent]), parent),
+        )
+        heapq.heappush(heap, (-_prac(snapshot, pivot, requestor, 0), pivot))
+    return parents
+
+
+def replace_leaves(
+    snapshot: BandwidthSnapshot,
+    requestor: int,
+    parents: dict[int, int],
+    unselected: Sequence[int],
+) -> dict[int, int]:
+    """Step 2 (Replacing): swap weak-uplink leaves for stronger outsiders.
+
+    Returns updated child -> parent pointers (the input is not mutated).
+    """
+    parents = dict(parents)
+    non_leaves = set(parents.values())
+    leaves = [node for node in parents if node not in non_leaves]
+    pool = leaves + list(unselected)
+    pool.sort(key=lambda node: (-snapshot.up_of(node), node))
+    chosen = set(pool[: len(leaves)])  # L*: the l strongest uplinks
+    outgoing = sorted(leaf for leaf in leaves if leaf not in chosen)
+    incoming = sorted(node for node in chosen if node not in set(leaves))
+    for leaf, newcomer in zip(outgoing, incoming):
+        parents[newcomer] = parents.pop(leaf)
+    return parents
+
+
+def build_pivot_tree(
+    snapshot: BandwidthSnapshot,
+    requestor: int,
+    candidates: Sequence[int],
+    k: int,
+) -> RepairTree:
+    """Run Algorithm 1 and return the optimal pipelined repair tree."""
+    pivots = select_pivots(snapshot, candidates, k)
+    parents = insert_pivots(snapshot, requestor, pivots)
+    selected = set(pivots)
+    unselected = [node for node in candidates if node not in selected]
+    parents = replace_leaves(snapshot, requestor, parents, unselected)
+    return RepairTree(requestor, parents)
+
+
+class PivotRepairPlanner(RepairPlanner):
+    """The paper's scheme: O(n log n) pivot-based tree construction."""
+
+    name = "PivotRepair"
+
+    def _build(
+        self,
+        snapshot: BandwidthSnapshot,
+        requestor: int,
+        candidates: list[int],
+        k: int,
+    ) -> RepairPlan:
+        tree = build_pivot_tree(snapshot, requestor, candidates, k)
+        return RepairPlan(
+            scheme=self.name,
+            requestor=requestor,
+            helpers=tree.helpers,
+            tree=tree,
+            bmin=tree.bmin(snapshot),
+        )

@@ -1,0 +1,156 @@
+"""Computation-aware repair planning (Section IV-F, "Computation overhead").
+
+"One simple way to address the computation overhead issue is to check the
+computation capacity states of all nodes and identify which nodes have
+enough CPU cycles.  We then run Algorithm 1 only based on the selected
+nodes.  We may also partition time into timeslots, each of which only
+schedules a fraction of slice-repair tasks across nodes [51]."
+
+Both ideas are implemented here:
+
+* :class:`ComputeView` holds per-node available CPU (as a fraction of one
+  core, or any consistent unit) and filters helper candidates;
+* :class:`ComputeAwarePlanner` wraps any planner, restricting its candidate
+  pool to compute-capable nodes (falling back gracefully when that leaves
+  fewer than k candidates);
+* :func:`timeslot_schedule` partitions a batch of repair tasks into
+  timeslots so that no node computes for more than a budgeted number of
+  tasks per slot (the Dayu-style [51] fraction-per-timeslot discipline).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.plan import RepairPlan, RepairPlanner
+from repro.core.tree import RepairTree
+from repro.exceptions import PlanningError
+
+
+@dataclass(frozen=True)
+class ComputeView:
+    """Available computation capacity per node at one instant."""
+
+    available_cpu: Mapping[int, float]
+
+    def __post_init__(self) -> None:
+        for node, cpu in self.available_cpu.items():
+            if cpu < 0:
+                raise PlanningError(f"negative CPU on node {node}")
+
+    def cpu_of(self, node: int) -> float:
+        try:
+            return self.available_cpu[node]
+        except KeyError:
+            raise PlanningError(f"node {node} not in compute view") from None
+
+    def capable_nodes(self, minimum: float) -> list[int]:
+        """Nodes with at least ``minimum`` CPU available."""
+        return sorted(
+            node
+            for node, cpu in self.available_cpu.items()
+            if cpu >= minimum
+        )
+
+    def filter_candidates(
+        self, candidates: Sequence[int], minimum: float
+    ) -> list[int]:
+        """Candidates with enough CPU, preserving the input order."""
+        return [
+            node for node in candidates if self.cpu_of(node) >= minimum
+        ]
+
+
+class ComputeAwarePlanner(RepairPlanner):
+    """Run any planner only on nodes with enough CPU cycles.
+
+    Non-leaf tree nodes do the GF multiply-XOR work, so the filter applies
+    to all candidates (any of them may become a relay).  If filtering
+    leaves fewer than k candidates, nodes are added back in decreasing CPU
+    order — a repair must proceed even on a busy cluster.
+    """
+
+    def __init__(
+        self,
+        inner: RepairPlanner,
+        compute: ComputeView,
+        min_cpu: float = 0.25,
+    ):
+        if min_cpu < 0:
+            raise PlanningError("min_cpu cannot be negative")
+        self.inner = inner
+        self.compute = compute
+        self.min_cpu = min_cpu
+        self.name = f"{inner.name}+compute"
+
+    def _build(
+        self,
+        snapshot: BandwidthSnapshot,
+        requestor: int,
+        candidates: list[int],
+        k: int,
+    ) -> RepairPlan:
+        capable = self.compute.filter_candidates(candidates, self.min_cpu)
+        if len(capable) < k:
+            busy = sorted(
+                (node for node in candidates if node not in set(capable)),
+                key=lambda node: (-self.compute.cpu_of(node), node),
+            )
+            capable = capable + busy[: k - len(capable)]
+        plan = self.inner.plan(snapshot, requestor, capable, k)
+        plan.scheme = self.name
+        plan.notes["compute_filtered"] = len(candidates) - len(capable)
+        return plan
+
+
+def compute_load_of(tree: RepairTree) -> dict[int, int]:
+    """Per-node compute work of one repair task, in partial-sum units.
+
+    Every helper performs one coefficient multiplication; every non-leaf
+    node additionally XORs one partial result per child.
+    """
+    load: dict[int, int] = {}
+    for helper in tree.helpers:
+        load[helper] = 1 + tree.child_count(helper)
+    load[tree.root] = tree.child_count(tree.root)
+    return load
+
+
+def timeslot_schedule(
+    trees: Sequence[RepairTree],
+    per_node_budget: int,
+) -> list[list[int]]:
+    """Partition repair tasks into timeslots bounding per-node compute.
+
+    Greedy first-fit: task i goes into the earliest slot where adding its
+    compute load keeps every node within ``per_node_budget`` units.
+
+    Returns a list of slots, each a list of task indices.
+    """
+    if per_node_budget < 1:
+        raise PlanningError("per-node budget must be at least 1")
+    slots: list[list[int]] = []
+    slot_loads: list[dict[int, int]] = []
+    for index, tree in enumerate(trees):
+        load = compute_load_of(tree)
+        if any(units > per_node_budget for units in load.values()):
+            raise PlanningError(
+                f"task {index} alone exceeds the per-node budget"
+            )
+        placed = False
+        for slot, existing in zip(slots, slot_loads):
+            if all(
+                existing.get(node, 0) + units <= per_node_budget
+                for node, units in load.items()
+            ):
+                slot.append(index)
+                for node, units in load.items():
+                    existing[node] = existing.get(node, 0) + units
+                placed = True
+                break
+        if not placed:
+            slots.append([index])
+            slot_loads.append(dict(load))
+    return slots

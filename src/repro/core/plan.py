@@ -1,0 +1,118 @@
+"""Repair plans and the planner interface shared by all schemes."""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.tree import RepairTree
+from repro.exceptions import PlanningError
+
+
+@dataclass
+class RepairPlan:
+    """Output of a repair planner for one single-chunk repair.
+
+    Pipelined schemes (RP, PPT, PivotRepair) fill ``tree``; staged schemes
+    (conventional, PPR) fill ``stages`` — lists of (src, dst) transfer rounds
+    executed one after another, each round a set of independent bulk flows.
+    """
+
+    scheme: str
+    requestor: int
+    helpers: list[int]
+    tree: RepairTree | None = None
+    stages: list[list[tuple[int, int]]] | None = None
+    bmin: float = 0.0
+    planning_seconds: float = 0.0
+    #: Number of candidate trees the planner evaluated (1 for greedy schemes).
+    trees_examined: int = 1
+    #: For enumeration planners that hit their budget: the projected full
+    #: enumeration time (measured per-tree cost x exact tree count).
+    extrapolated_seconds: float | None = None
+    notes: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if (self.tree is None) == (self.stages is None):
+            raise PlanningError(
+                "a plan must have exactly one of tree or stages"
+            )
+        if self.tree is not None and self.tree.root != self.requestor:
+            raise PlanningError("tree root must be the requestor")
+
+    @property
+    def is_pipelined(self) -> bool:
+        return self.tree is not None
+
+    @property
+    def effective_planning_seconds(self) -> float:
+        """Planning cost including extrapolation for capped enumerators."""
+        if self.extrapolated_seconds is not None:
+            return self.extrapolated_seconds
+        return self.planning_seconds
+
+
+class RepairPlanner(ABC):
+    """Common interface: compute a repair plan from a bandwidth snapshot."""
+
+    #: Human-readable scheme name, e.g. "PivotRepair".
+    name: str = "base"
+
+    def plan(
+        self,
+        snapshot: BandwidthSnapshot,
+        requestor: int,
+        candidates: Sequence[int],
+        k: int,
+    ) -> RepairPlan:
+        """Plan a single-chunk repair; wall-clock times the planning step.
+
+        Args:
+            snapshot: available bandwidths at planning time.
+            requestor: node where the chunk is rebuilt (tree root).
+            candidates: surviving nodes holding chunks of the stripe
+                (the n - 1 possible helpers), excluding the requestor.
+            k: number of helpers the code requires.
+        """
+        candidates = self._validated(snapshot, requestor, candidates, k)
+        started = time.perf_counter()
+        plan = self._build(snapshot, requestor, candidates, k)
+        plan.planning_seconds = time.perf_counter() - started
+        return plan
+
+    @abstractmethod
+    def _build(
+        self,
+        snapshot: BandwidthSnapshot,
+        requestor: int,
+        candidates: list[int],
+        k: int,
+    ) -> RepairPlan:
+        """Scheme-specific planning; must fill everything but timing."""
+
+    def _validated(
+        self,
+        snapshot: BandwidthSnapshot,
+        requestor: int,
+        candidates: Sequence[int],
+        k: int,
+    ) -> list[int]:
+        candidates = list(candidates)
+        if k <= 0:
+            raise PlanningError(f"k must be positive, got {k}")
+        if requestor in candidates:
+            raise PlanningError("the requestor cannot be a helper candidate")
+        if len(set(candidates)) != len(candidates):
+            raise PlanningError("duplicate helper candidates")
+        if len(candidates) < k:
+            raise PlanningError(
+                f"need at least k={k} candidates, got {len(candidates)}"
+            )
+        known = set(snapshot.up)
+        missing = ({requestor} | set(candidates)) - known
+        if missing:
+            raise PlanningError(f"nodes missing from snapshot: {missing}")
+        return candidates

@@ -1,0 +1,107 @@
+"""Adaptive scheduling for full-node repair (Section IV-E).
+
+A full-node repair triggers many single-chunk repairs that compete for
+bandwidth.  PivotRepair starts a new repair task only when its
+*recommendation value* is high enough:
+
+    r = B_min - sum_i S(i,c) * (alpha * max(A_i - E_i, 0) / E_i + beta)
+
+where the sum ranges over the ``eta`` currently running tasks; ``B_min`` is
+the candidate tree's bottleneck bandwidth under current conditions;
+``S(i,c)`` is the similarity between the candidate tree and running task i's
+tree (number of identical upload/download nodes); ``E_i`` is task i's
+expected duration (from its B_min at planning time) and ``A_i`` its elapsed
+time, so ``max(A_i - E_i, 0) / E_i`` is its relative delay.  Larger alpha
+and beta make running tasks discourage new ones more strongly.
+
+``B_min`` enters in Mb/s so alpha/beta are scale-free knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.tree import RepairTree
+from repro.exceptions import PlanningError
+from repro.units import to_mbps
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the adaptive scheduling strategy."""
+
+    alpha: float = 1.0
+    beta: float = 2.0
+    #: Minimum recommendation value required to start a task while other
+    #: tasks are running (the "threshold fixed based on experience").
+    threshold: float = 0.0
+    #: Hard cap on concurrently running repair tasks (None = unbounded).
+    max_concurrency: int | None = None
+    #: When idle and below threshold, re-check bandwidths this often
+    #: ("check periodically until available bandwidths turn sufficient").
+    check_interval: float = 1.0
+    #: Give up waiting for bandwidth after this long and start the best
+    #: candidate anyway, so a permanently congested network still repairs.
+    max_idle_wait: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise PlanningError("alpha and beta must be non-negative")
+        if self.max_concurrency is not None and self.max_concurrency < 1:
+            raise PlanningError("max_concurrency must be >= 1")
+        if self.check_interval <= 0:
+            raise PlanningError("check_interval must be positive")
+        if self.max_idle_wait < 0:
+            raise PlanningError("max_idle_wait cannot be negative")
+
+
+@dataclass
+class RunningTask:
+    """Book-keeping for one in-flight single-chunk repair."""
+
+    tree: RepairTree
+    start_time: float
+    expected_seconds: float
+    uploaders: frozenset[int] = field(init=False)
+    downloaders: frozenset[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.expected_seconds <= 0:
+            raise PlanningError("expected task duration must be positive")
+        self.uploaders = frozenset(self.tree.helpers)
+        self.downloaders = frozenset(
+            [self.tree.root, *self.tree.non_leaf_helpers()]
+        )
+
+    def relative_delay(self, now: float) -> float:
+        """max(A_i - E_i, 0) / E_i with A_i the elapsed time so far."""
+        elapsed = now - self.start_time
+        return max(elapsed - self.expected_seconds, 0.0) / self.expected_seconds
+
+
+def tree_similarity(candidate: RepairTree, running: RunningTask) -> int:
+    """S(i, c): identical upload nodes + identical download nodes."""
+    uploads = len(frozenset(candidate.helpers) & running.uploaders)
+    downloads = len(
+        frozenset([candidate.root, *candidate.non_leaf_helpers()])
+        & running.downloaders
+    )
+    return uploads + downloads
+
+
+def recommendation_value(
+    candidate: RepairTree,
+    candidate_bmin: float,
+    running: list[RunningTask],
+    now: float,
+    config: SchedulerConfig | None = None,
+) -> float:
+    """Equation (3): how strongly this task is recommended right now."""
+    config = config or SchedulerConfig()
+    penalty = 0.0
+    for task in running:
+        similarity = tree_similarity(candidate, task)
+        penalty += similarity * (
+            config.alpha * task.relative_delay(now) + config.beta
+        )
+    return to_mbps(candidate_bmin) - penalty

@@ -1,0 +1,148 @@
+"""Generic GF(2^w) finite fields (w = 8 or 16).
+
+The paper's codes operate over GF(2^w) "over w-bit words" (Section II-A).
+GF(2^8) covers every production code in the evaluation (n <= 255); GF(2^16)
+lifts that ceiling for *wide stripes* (the ECWide [22] setting from the
+same group, n up to 65535).
+
+A :class:`GaloisField` is table-driven: multiplication uses discrete
+log/exp tables so whole numpy word arrays multiply by a scalar coefficient
+in one vectorised pass.  Tables build lazily on first use (the GF(2^16)
+tables hold 2 x 65536 entries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GaloisFieldError
+
+#: Standard primitive polynomials per word size.
+PRIMITIVE_POLYNOMIALS = {
+    8: 0x11D,  # x^8 + x^4 + x^3 + x^2 + 1 (ISA-L's default)
+    16: 0x1100B,  # x^16 + x^12 + x^3 + x + 1
+}
+
+
+class GaloisField:
+    """GF(2^w) arithmetic over numpy word arrays."""
+
+    def __init__(self, w: int, primitive_poly: int | None = None):
+        if w not in (8, 16):
+            raise GaloisFieldError(f"unsupported word size w={w}")
+        self.w = w
+        self.order = 1 << w
+        self.poly = (
+            primitive_poly
+            if primitive_poly is not None
+            else PRIMITIVE_POLYNOMIALS[w]
+        )
+        self.dtype = np.uint8 if w == 8 else np.uint16
+        self._exp: np.ndarray | None = None
+        self._log: np.ndarray | None = None
+
+    def __repr__(self) -> str:
+        return f"GaloisField(2^{self.w}, poly={self.poly:#x})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GaloisField):
+            return NotImplemented
+        return (self.w, self.poly) == (other.w, other.poly)
+
+    def __hash__(self) -> int:
+        return hash((GaloisField, self.w, self.poly))
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def _tables(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._exp is None:
+            size = self.order
+            exp = np.zeros(2 * size, dtype=self.dtype)
+            log = np.zeros(size, dtype=np.int64)
+            x = 1
+            for i in range(size - 1):
+                exp[i] = x
+                log[x] = i
+                x <<= 1
+                if x & size:
+                    x ^= self.poly
+            # Duplicate so exp[log a + log b] needs no modulo.
+            exp[size - 1 : 2 * (size - 1)] = exp[: size - 1]
+            self._exp, self._log = exp, log
+        return self._exp, self._log
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def add(self, a, b):
+        """Addition is bitwise XOR in characteristic 2."""
+        return np.bitwise_xor(a, b)
+
+    sub = add
+
+    def mul(self, a, b):
+        """Element-wise product of scalars or word arrays."""
+        exp, log = self._tables()
+        a = np.asarray(a, dtype=self.dtype)
+        b = np.asarray(b, dtype=self.dtype)
+        result = exp[log[a] + log[b]]
+        result = np.where((a == 0) | (b == 0), self.dtype(0), result)
+        if result.ndim == 0:
+            return int(result)
+        return result
+
+    def inv(self, a):
+        """Multiplicative inverse of nonzero elements."""
+        exp, log = self._tables()
+        arr = np.asarray(a, dtype=self.dtype)
+        if np.any(arr == 0):
+            raise GaloisFieldError(
+                f"zero has no multiplicative inverse in GF(2^{self.w})"
+            )
+        result = exp[(self.order - 1) - log[arr]]
+        if result.ndim == 0:
+            return int(result)
+        return result
+
+    def div(self, a, b):
+        b_arr = np.asarray(b, dtype=self.dtype)
+        if np.any(b_arr == 0):
+            raise GaloisFieldError(f"division by zero in GF(2^{self.w})")
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, exponent: int) -> int:
+        if not 0 <= a < self.order:
+            raise GaloisFieldError(f"element {a} outside GF(2^{self.w})")
+        if a == 0:
+            if exponent == 0:
+                return 1
+            if exponent < 0:
+                raise GaloisFieldError("zero has no negative powers")
+            return 0
+        exp, log = self._tables()
+        period = self.order - 1
+        return int(exp[(int(log[a]) * exponent) % period])
+
+    def mul_slice(self, coefficient: int, data: np.ndarray) -> np.ndarray:
+        """Multiply a word buffer by a scalar coefficient (vectorised)."""
+        if not 0 <= coefficient < self.order:
+            raise GaloisFieldError(
+                f"coefficient {coefficient} outside GF(2^{self.w})"
+            )
+        data = np.asarray(data, dtype=self.dtype)
+        if coefficient == 0:
+            return np.zeros_like(data)
+        if coefficient == 1:
+            return data.copy()
+        exp, log = self._tables()
+        out = exp[log[data] + int(log[coefficient])]
+        out[data == 0] = 0
+        return out
+
+
+#: The default field used throughout the library (all paper codes fit).
+GF256 = GaloisField(8)
+
+#: Wide-stripe field: stripes up to n = 65535.
+GF65536 = GaloisField(16)

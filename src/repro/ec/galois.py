@@ -1,0 +1,71 @@
+"""GF(2^8) arithmetic — module-level convenience wrappers.
+
+The general implementation lives in :mod:`repro.ec.field`; this module
+binds it to the default GF(2^8) field (primitive polynomial 0x11D, the one
+Intel ISA-L uses) for the many call sites that never need another field.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ec.field import GF256
+from repro.exceptions import GaloisFieldError
+
+#: The primitive polynomial defining GF(2^8).
+PRIMITIVE_POLY = GF256.poly
+
+#: Field order (number of elements).
+FIELD_ORDER = GF256.order
+
+
+def gf_add(a, b):
+    """Add two field elements or arrays (bitwise XOR)."""
+    return GF256.add(a, b)
+
+
+# Subtraction equals addition in characteristic-2 fields.
+gf_sub = gf_add
+
+
+def gf_mul(a, b):
+    """Multiply field elements or uint8 arrays element-wise."""
+    return GF256.mul(a, b)
+
+
+def gf_inv(a):
+    """Multiplicative inverse of a nonzero element (scalar or array)."""
+    return GF256.inv(a)
+
+
+def gf_div(a, b):
+    """Divide ``a`` by ``b`` element-wise; ``b`` must be nonzero."""
+    return GF256.div(a, b)
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Raise a scalar field element to an integer power."""
+    return GF256.pow(a, exponent)
+
+
+def gf_mul_slice(coefficient: int, data: np.ndarray) -> np.ndarray:
+    """Multiply a byte buffer by a scalar coefficient (vectorised).
+
+    This is the hot path of erasure-coded repair: each helper multiplies
+    its chunk (or slice) by a decoding coefficient before XOR-aggregating.
+    """
+    return GF256.mul_slice(coefficient, data)
+
+
+__all__ = [
+    "FIELD_ORDER",
+    "PRIMITIVE_POLY",
+    "GaloisFieldError",
+    "gf_add",
+    "gf_div",
+    "gf_inv",
+    "gf_mul",
+    "gf_mul_slice",
+    "gf_pow",
+    "gf_sub",
+]

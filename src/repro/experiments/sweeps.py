@@ -1,0 +1,78 @@
+"""Figure 6 parameter sweeps (Experiments 4 and 5).
+
+Both sweeps use a fixed heterogeneous bandwidth situation (the paper: "a
+fixed bandwidth situation") shaped like the motivating Figure 3: a few
+congested links, several pivots, one strong requestor.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.experiments.single_chunk import SCHEMES, make_planner
+from repro.network.topology import StarNetwork
+from repro.repair import ExecutionConfig, repair_single_chunk
+from repro.units import kib, mbps, mib
+
+#: Figure 6(a) slice sizes (KiB): 2 KiB .. 1024 KiB.
+SLICE_KIB: list[int] = [2, 8, 32, 128, 512, 1024]
+
+#: Figure 6(b) chunk sizes (MiB): 8 .. 128 MiB.
+CHUNK_MIB: list[int] = [8, 16, 32, 64, 128]
+
+#: The fixed bandwidth situation, Mb/s per node (index 0 = requestor).
+FIXED_UPS = [980, 750, 500, 150, 500, 500, 700, 300, 900, 400]
+FIXED_DOWNS = [980, 100, 130, 1000, 200, 900, 650, 850, 250, 750]
+
+
+def fixed_network() -> StarNetwork:
+    """The sweep's static network."""
+    return StarNetwork.constant(
+        [mbps(u) for u in FIXED_UPS], [mbps(d) for d in FIXED_DOWNS]
+    )
+
+
+def run_slice_size_sweep(
+    slice_kib: Sequence[int] = tuple(SLICE_KIB),
+    chunk_mib: float = 64,
+    k: int = 4,
+) -> dict[int, dict[str, float]]:
+    """Figure 6(a): total repair seconds per slice size per scheme."""
+    network = fixed_network()
+    candidates = list(range(1, len(FIXED_UPS)))
+    results: dict[int, dict[str, float]] = {}
+    for size in slice_kib:
+        config = ExecutionConfig(
+            chunk_size=mib(chunk_mib), slice_size=kib(size)
+        )
+        results[size] = {
+            scheme: repair_single_chunk(
+                make_planner(scheme), network, 0, candidates, k,
+                config=config,
+            ).total_seconds
+            for scheme in SCHEMES
+        }
+    return results
+
+
+def run_chunk_size_sweep(
+    chunk_mib: Sequence[int] = tuple(CHUNK_MIB),
+    slice_kib: float = 32,
+    k: int = 4,
+) -> dict[int, dict[str, float]]:
+    """Figure 6(b): total repair seconds per chunk size per scheme."""
+    network = fixed_network()
+    candidates = list(range(1, len(FIXED_UPS)))
+    results: dict[int, dict[str, float]] = {}
+    for size in chunk_mib:
+        config = ExecutionConfig(
+            chunk_size=mib(size), slice_size=kib(slice_kib)
+        )
+        results[size] = {
+            scheme: repair_single_chunk(
+                make_planner(scheme), network, 0, candidates, k,
+                config=config,
+            ).total_seconds
+            for scheme in SCHEMES
+        }
+    return results

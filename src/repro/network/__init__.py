@@ -1,0 +1,23 @@
+"""Network substrate: bandwidth traces, star topology, fluid simulation."""
+
+from repro.network.bandwidth import BandwidthTrace, NodeBandwidth
+from repro.network.fairness import (
+    allocate_edge_tasks,
+    max_min_allocate,
+    usage_from_edges,
+)
+from repro.network.hierarchical import RackNetwork
+from repro.network.simulator import FluidSimulator, TaskHandle
+from repro.network.topology import StarNetwork
+
+__all__ = [
+    "BandwidthTrace",
+    "FluidSimulator",
+    "NodeBandwidth",
+    "RackNetwork",
+    "StarNetwork",
+    "TaskHandle",
+    "allocate_edge_tasks",
+    "max_min_allocate",
+    "usage_from_edges",
+]

@@ -1,0 +1,141 @@
+"""Time-varying bandwidth traces.
+
+A :class:`BandwidthTrace` is a piecewise-constant function of time giving a
+link's **available** capacity (bytes/second) for repair traffic.  The paper
+samples bandwidths at one-second intervals (Section III-A); traces here allow
+arbitrary breakpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.exceptions import TraceError
+
+
+class BandwidthTrace:
+    """Piecewise-constant available bandwidth over time.
+
+    The trace holds ``values[i]`` on the half-open interval
+    ``[times[i], times[i+1])``; the last value extends to infinity.
+    """
+
+    def __init__(self, times: Sequence[float], values: Sequence[float]):
+        times = [float(t) for t in times]
+        values = [float(v) for v in values]
+        if not times:
+            raise TraceError("a trace needs at least one breakpoint")
+        if len(times) != len(values):
+            raise TraceError(
+                f"{len(times)} breakpoints but {len(values)} values"
+            )
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise TraceError("trace breakpoints must be strictly increasing")
+        if any(v < 0 for v in values):
+            raise TraceError("bandwidth cannot be negative")
+        self._times = times
+        self._values = values
+
+    @classmethod
+    def constant(cls, value: float) -> BandwidthTrace:
+        """A trace that never changes."""
+        return cls([0.0], [value])
+
+    @classmethod
+    def from_samples(
+        cls, values: Sequence[float], interval: float = 1.0, start: float = 0.0
+    ) -> BandwidthTrace:
+        """Build a trace from evenly spaced samples (paper: 1 s interval)."""
+        if interval <= 0:
+            raise TraceError(f"interval must be positive, got {interval}")
+        times = [start + i * interval for i in range(len(values))]
+        return cls(times, values)
+
+    @property
+    def breakpoints(self) -> list[float]:
+        return list(self._times)
+
+    @property
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def value_at(self, t: float) -> float:
+        """Available bandwidth at time ``t`` (bytes/second)."""
+        if t < self._times[0]:
+            # Before the first sample the first value applies.
+            return self._values[0]
+        index = bisect_right(self._times, t) - 1
+        return self._values[index]
+
+    def next_change_after(self, t: float) -> float:
+        """The first breakpoint strictly after ``t``, or +inf if none."""
+        index = bisect_right(self._times, t)
+        if index >= len(self._times):
+            return math.inf
+        return self._times[index]
+
+    def mean(self, start: float, end: float) -> float:
+        """Time-weighted mean bandwidth over ``[start, end)``."""
+        if end <= start:
+            raise TraceError("mean() needs end > start")
+        total = 0.0
+        t = start
+        while t < end:
+            nxt = min(self.next_change_after(t), end)
+            total += self.value_at(t) * (nxt - t)
+            t = nxt
+        return total / (end - start)
+
+    def scaled(self, factor: float) -> BandwidthTrace:
+        """A copy with every value multiplied by ``factor``."""
+        if factor < 0:
+            raise TraceError("scale factor cannot be negative")
+        return BandwidthTrace(self._times, [v * factor for v in self._values])
+
+    def clipped(self, low: float, high: float) -> BandwidthTrace:
+        """A copy with values clipped into ``[low, high]``."""
+        return BandwidthTrace(
+            self._times, [min(max(v, low), high) for v in self._values]
+        )
+
+    def as_array(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, values) as numpy arrays, for analysis code."""
+        return np.asarray(self._times), np.asarray(self._values)
+
+    def __repr__(self) -> str:
+        return (
+            f"BandwidthTrace({len(self._times)} breakpoints, "
+            f"first={self._values[0]:.0f} B/s)"
+        )
+
+
+class NodeBandwidth:
+    """Available uplink and downlink bandwidth of one storage node."""
+
+    def __init__(self, uplink: BandwidthTrace, downlink: BandwidthTrace):
+        self.uplink = uplink
+        self.downlink = downlink
+
+    @classmethod
+    def constant(cls, up: float, down: float) -> NodeBandwidth:
+        return cls(BandwidthTrace.constant(up), BandwidthTrace.constant(down))
+
+    def up_at(self, t: float) -> float:
+        return self.uplink.value_at(t)
+
+    def down_at(self, t: float) -> float:
+        return self.downlink.value_at(t)
+
+    def theo_at(self, t: float) -> float:
+        """Theoretical available node bandwidth: min(up, down) (§IV-B)."""
+        return min(self.up_at(t), self.down_at(t))
+
+    def next_change_after(self, t: float) -> float:
+        return min(
+            self.uplink.next_change_after(t),
+            self.downlink.next_change_after(t),
+        )

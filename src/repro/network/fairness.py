@@ -1,0 +1,156 @@
+"""Max-min fair bandwidth allocation for coupled pipelined tasks.
+
+A pipelined repair task moves data along every edge of its tree at a single
+common rate (the pipeline cannot outrun its slowest stage).  Each directed
+edge ``src -> dst`` consumes the sender's uplink and the receiver's downlink,
+so a task's footprint on a resource is *the number of its edges touching that
+resource* (a non-leaf node with two children draws twice its rate from its
+downlink — cf. Figure 1(d), where the relaying receiver halves each link).
+
+Allocation uses classic progressive filling: all tasks' rates rise together
+until some resource saturates, the tasks crossing it freeze, and filling
+continues with the rest.  The result is the unique max-min fair allocation.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Mapping, Sequence
+
+from repro.exceptions import SimulationError
+
+Resource = Hashable
+
+#: Tolerance for saturation comparisons (bytes/second).
+_EPSILON = 1e-9
+
+
+def usage_from_edges(
+    edges: Sequence[tuple[int, int]],
+) -> dict[Resource, float]:
+    """Resource-usage coefficients of a task transferring on ``edges``.
+
+    Resources are ``("up", node)`` and ``("down", node)``.
+    """
+    usage: dict[Resource, float] = {}
+    for src, dst in edges:
+        if src == dst:
+            raise SimulationError(f"self-edge on node {src}")
+        usage[("up", src)] = usage.get(("up", src), 0.0) + 1.0
+        usage[("down", dst)] = usage.get(("down", dst), 0.0) + 1.0
+    return usage
+
+
+def max_min_allocate(
+    usages: Sequence[Mapping[Resource, float]],
+    capacities: Mapping[Resource, float],
+    rate_caps: Sequence[float | None] | None = None,
+) -> list[float]:
+    """Compute max-min fair rates for tasks with coupled resource usage.
+
+    Args:
+        usages: per-task mapping from resource to usage coefficient (how many
+            units of the resource one unit of task rate consumes).
+        capacities: available capacity per resource.  Resources used by a
+            task but absent here are treated as capacity 0.
+        rate_caps: optional per-task rate ceiling (None = uncapped).  Caps
+            model rate-throttled traffic: repair jobs that production
+            systems deliberately limit, or foreground flows replayed at
+            their recorded intensity.
+
+    Returns:
+        One rate per task, in the order given.
+    """
+    for usage in usages:
+        for resource, coeff in usage.items():
+            if coeff < 0:
+                raise SimulationError(
+                    f"negative usage coefficient on {resource}"
+                )
+    if rate_caps is None:
+        rate_caps = [None] * len(usages)
+    if len(rate_caps) != len(usages):
+        raise SimulationError("rate_caps length must match usages")
+    for cap in rate_caps:
+        if cap is not None and cap < 0:
+            raise SimulationError("rate caps cannot be negative")
+
+    rates = [0.0] * len(usages)
+    active = {
+        i
+        for i, usage in enumerate(usages)
+        if any(c > 0 for c in usage.values())
+        and (rate_caps[i] is None or rate_caps[i] > 0)
+    }
+    # Map each resource to the tasks using it, once, up front.
+    users: dict[Resource, list[int]] = {}
+    for i, usage in enumerate(usages):
+        for resource, coeff in usage.items():
+            if coeff > 0:
+                users.setdefault(resource, []).append(i)
+
+    while active:
+        # Remaining slack per resource given current (frozen) rates.
+        best_increment = math.inf
+        saturated: list[Resource] = []
+        for resource, tasks in users.items():
+            active_coeff = sum(
+                usages[i][resource] for i in tasks if i in active
+            )
+            if active_coeff <= 0:
+                continue
+            capacity = capacities.get(resource, 0.0)
+            used = sum(usages[i][resource] * rates[i] for i in tasks)
+            slack = max(capacity - used, 0.0)
+            increment = slack / active_coeff
+            if increment < best_increment - _EPSILON:
+                best_increment = increment
+                saturated = [resource]
+            elif increment <= best_increment + _EPSILON:
+                saturated.append(resource)
+        # A task's own rate cap limits the uniform increment as well.  A
+        # strictly smaller cap headroom means the resources collected above
+        # will NOT saturate this round — only the capped task freezes.
+        capped_now: set[int] = set()
+        for i in active:
+            cap = rate_caps[i]
+            if cap is None:
+                continue
+            headroom = cap - rates[i]
+            if headroom < best_increment - _EPSILON:
+                best_increment = headroom
+                saturated = []
+                capped_now = {i}
+            elif headroom <= best_increment + _EPSILON:
+                capped_now.add(i)
+        if not math.isfinite(best_increment):
+            # No active resource constrains the remaining tasks; they are
+            # unconstrained, which cannot happen with well-formed edges.
+            raise SimulationError("unconstrained task in max-min allocation")
+        for i in active:
+            rates[i] += best_increment
+        newly_frozen = {
+            i
+            for resource in saturated
+            for i in users.get(resource, [])
+            if i in active and usages[i].get(resource, 0.0) > 0
+        } | capped_now
+        if not newly_frozen:
+            raise SimulationError("progressive filling failed to converge")
+        active -= newly_frozen
+    return rates
+
+
+def allocate_edge_tasks(
+    task_edges: Sequence[Sequence[tuple[int, int]]],
+    up_capacity: Mapping[int, float],
+    down_capacity: Mapping[int, float],
+) -> list[float]:
+    """Convenience wrapper: max-min rates for tasks given as edge lists."""
+    usages = [usage_from_edges(edges) for edges in task_edges]
+    capacities: dict[Resource, float] = {}
+    for node, cap in up_capacity.items():
+        capacities[("up", node)] = cap
+    for node, cap in down_capacity.items():
+        capacities[("down", node)] = cap
+    return max_min_allocate(usages, capacities)

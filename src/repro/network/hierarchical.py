@@ -1,0 +1,160 @@
+"""Multi-layer (rack-based) network topology.
+
+Section IV-F of the paper: "in modern data center networks, multi-layer
+network topologies are common and nodes may reside in different racks ...
+the available bandwidth in cross-rack links is typically lower than that in
+the same rack."  The paper poses rack-aware pipelining as future work; this
+module supplies the substrate for it.
+
+A :class:`RackNetwork` has two levels: every node hangs off its rack's
+top-of-rack switch through its own uplink/downlink, and each rack connects
+to a non-blocking core through a rack uplink/downlink.  Cross-rack traffic
+consumes four resources (node up, rack up, rack down, node down); intra-rack
+traffic only the two node links.  Rack links are usually *oversubscribed*:
+their capacity is less than the sum of their nodes' edge capacities.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.exceptions import SimulationError
+from repro.network.bandwidth import BandwidthTrace, NodeBandwidth
+
+
+class RackNetwork:
+    """Two-level topology: nodes in racks, racks on a core switch."""
+
+    def __init__(
+        self,
+        node_racks: Sequence[int],
+        node_bandwidths: Sequence[NodeBandwidth],
+        rack_bandwidths: Sequence[NodeBandwidth],
+    ):
+        if len(node_racks) != len(node_bandwidths):
+            raise SimulationError(
+                "node_racks and node_bandwidths lengths differ"
+            )
+        if not node_bandwidths:
+            raise SimulationError("a network needs at least one node")
+        rack_count = len(rack_bandwidths)
+        for node, rack in enumerate(node_racks):
+            if not 0 <= rack < rack_count:
+                raise SimulationError(
+                    f"node {node} assigned to unknown rack {rack}"
+                )
+        self._racks = list(node_racks)
+        self._nodes = list(node_bandwidths)
+        self._rack_links = list(rack_bandwidths)
+
+    @classmethod
+    def uniform(
+        cls,
+        rack_count: int,
+        nodes_per_rack: int,
+        node_capacity: float,
+        rack_capacity: float,
+    ) -> RackNetwork:
+        """Homogeneous racks; ``rack_capacity < nodes_per_rack *
+        node_capacity`` models oversubscription."""
+        node_racks = [
+            rack for rack in range(rack_count) for _ in range(nodes_per_rack)
+        ]
+        nodes = [
+            NodeBandwidth.constant(node_capacity, node_capacity)
+            for _ in node_racks
+        ]
+        racks = [
+            NodeBandwidth.constant(rack_capacity, rack_capacity)
+            for _ in range(rack_count)
+        ]
+        return cls(node_racks, nodes, racks)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_ids(self) -> range:
+        return range(len(self._nodes))
+
+    @property
+    def rack_count(self) -> int:
+        return len(self._rack_links)
+
+    def rack_of(self, node: int) -> int:
+        self._check(node)
+        return self._racks[node]
+
+    def nodes_in_rack(self, rack: int) -> list[int]:
+        if not 0 <= rack < self.rack_count:
+            raise SimulationError(f"unknown rack {rack}")
+        return [n for n, r in enumerate(self._racks) if r == rack]
+
+    def same_rack(self, a: int, b: int) -> bool:
+        return self.rack_of(a) == self.rack_of(b)
+
+    # ------------------------------------------------------------------
+    # Per-link lookups
+    # ------------------------------------------------------------------
+    def up_at(self, node: int, t: float) -> float:
+        self._check(node)
+        return self._nodes[node].up_at(t)
+
+    def down_at(self, node: int, t: float) -> float:
+        self._check(node)
+        return self._nodes[node].down_at(t)
+
+    def rack_up_at(self, rack: int, t: float) -> float:
+        return self._rack_links[rack].up_at(t)
+
+    def rack_down_at(self, rack: int, t: float) -> float:
+        return self._rack_links[rack].down_at(t)
+
+    def link_bandwidth(self, src: int, dst: int, t: float) -> float:
+        """Available bandwidth src -> dst including rack links if crossed."""
+        if src == dst:
+            raise SimulationError(f"self-link on node {src}")
+        value = min(self.up_at(src, t), self.down_at(dst, t))
+        if not self.same_rack(src, dst):
+            value = min(
+                value,
+                self.rack_up_at(self.rack_of(src), t),
+                self.rack_down_at(self.rack_of(dst), t),
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Fluid-simulator topology interface
+    # ------------------------------------------------------------------
+    def capacities_at(self, t: float) -> dict:
+        capacities = {}
+        for node_id, node in enumerate(self._nodes):
+            capacities[("up", node_id)] = node.up_at(t)
+            capacities[("down", node_id)] = node.down_at(t)
+        for rack_id, link in enumerate(self._rack_links):
+            capacities[("rack_up", rack_id)] = link.up_at(t)
+            capacities[("rack_down", rack_id)] = link.down_at(t)
+        return capacities
+
+    def edge_usage(self, src: int, dst: int) -> dict:
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            raise SimulationError(f"self-edge on node {src}")
+        usage = {("up", src): 1.0, ("down", dst): 1.0}
+        if not self.same_rack(src, dst):
+            usage[("rack_up", self.rack_of(src))] = 1.0
+            usage[("rack_down", self.rack_of(dst))] = 1.0
+        return usage
+
+    def next_change_after(self, t: float) -> float:
+        return min(
+            min(node.next_change_after(t) for node in self._nodes),
+            min(link.next_change_after(t) for link in self._rack_links),
+        )
+
+    def _check(self, node: int) -> None:
+        if not 0 <= node < len(self._nodes):
+            raise SimulationError(
+                f"node {node} outside network of {len(self._nodes)} nodes"
+            )

@@ -1,0 +1,313 @@
+"""Event-driven fluid-flow network simulator.
+
+Models repair traffic as fluid tasks on a network topology whose link
+capacities vary over time.  Any topology exposing ``capacities_at(t)``,
+``edge_usage(src, dst)``, and ``next_change_after(t)`` works — the flat
+:class:`~repro.network.topology.StarNetwork` of the paper's testbed and the
+rack-based :class:`~repro.network.hierarchical.RackNetwork` of its
+multi-layer discussion (Section IV-F) both do.  Between events every task transfers at a max-min
+fair rate; events are (i) a task finishing and (ii) a capacity breakpoint.
+This reproduces the quantity the paper's experiments measure — transfer time
+under time-varying, shared bandwidth — without packet-level detail.
+
+Two task shapes are supported:
+
+* **Pipelined tasks** (RP chains, PPT/PivotRepair trees): every edge moves at
+  one common rate; the task finishes when each edge has carried its bytes.
+* **Bulk tasks** (conventional repair, PPR rounds): each edge is an
+  independent flow; the task finishes when the *last* flow does.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.exceptions import SimulationError
+from repro.network.fairness import max_min_allocate
+from repro.network.topology import StarNetwork
+
+
+@dataclass
+class TaskHandle:
+    """Caller-visible state of a submitted task."""
+
+    task_id: int
+    label: str
+    submit_time: float
+    finish_time: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def duration(self) -> float:
+        if self.finish_time is None:
+            raise SimulationError(f"task {self.label!r} has not finished")
+        return self.finish_time - self.submit_time
+
+
+@dataclass
+class _Entity:
+    """One max-min allocation entity: a set of edges at a common rate."""
+
+    task_id: int
+    edges: list[tuple[int, int]]
+    remaining: float
+    usage: dict = field(default_factory=dict)
+    rate: float = 0.0
+    #: Optional ceiling on the entity's rate (rate-throttled traffic).
+    max_rate: float | None = None
+
+
+class FluidSimulator:
+    """Fluid simulator over a star network with time-varying capacities."""
+
+    def __init__(self, network, start_time: float = 0.0):
+        self.network = network
+        self.now = float(start_time)
+        self._entities: dict[int, _Entity] = {}
+        self._entity_ids = itertools.count()
+        self._handles: dict[int, TaskHandle] = {}
+        self._task_ids = itertools.count()
+        self._task_entities: dict[int, set[int]] = {}
+        self._rates_valid = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_pipelined(
+        self,
+        edges: Sequence[tuple[int, int]],
+        bytes_per_edge: float,
+        label: str = "",
+        max_rate: float | None = None,
+    ) -> TaskHandle:
+        """Submit a pipelined task: all edges share one rate.
+
+        ``bytes_per_edge`` is the amount each edge must carry (for a repair
+        tree, the chunk size plus pipeline fill overhead).  ``max_rate``
+        throttles the pipeline (production systems rate-limit repair).
+        """
+        if not edges:
+            raise SimulationError("a pipelined task needs at least one edge")
+        if bytes_per_edge <= 0:
+            raise SimulationError("bytes_per_edge must be positive")
+        if max_rate is not None and max_rate <= 0:
+            raise SimulationError("max_rate must be positive")
+        handle = self._new_handle(label)
+        entity = _Entity(
+            task_id=handle.task_id,
+            edges=list(edges),
+            remaining=float(bytes_per_edge),
+            usage=self._usage_of(edges),
+            max_rate=max_rate,
+        )
+        self._add_entities(handle, [entity])
+        return handle
+
+    def submit_bulk(
+        self,
+        transfers: Sequence[tuple[int, int, float]],
+        label: str = "",
+        max_rate: float | None = None,
+    ) -> TaskHandle:
+        """Submit independent flows (src, dst, bytes); done when all finish.
+
+        ``max_rate`` caps each flow individually (e.g. replayed foreground
+        traffic running at its recorded intensity).
+        """
+        if not transfers:
+            raise SimulationError("a bulk task needs at least one transfer")
+        if max_rate is not None and max_rate <= 0:
+            raise SimulationError("max_rate must be positive")
+        handle = self._new_handle(label)
+        entities = []
+        for src, dst, size in transfers:
+            if size <= 0:
+                raise SimulationError("transfer size must be positive")
+            entities.append(
+                _Entity(
+                    task_id=handle.task_id,
+                    edges=[(src, dst)],
+                    remaining=float(size),
+                    usage=self._usage_of([(src, dst)]),
+                    max_rate=max_rate,
+                )
+            )
+        self._add_entities(handle, entities)
+        return handle
+
+    def _usage_of(self, edges) -> dict:
+        """Aggregate topology resource usage of a set of edges."""
+        usage: dict = {}
+        for src, dst in edges:
+            for resource, coefficient in self.network.edge_usage(
+                src, dst
+            ).items():
+                usage[resource] = usage.get(resource, 0.0) + coefficient
+        return usage
+
+    def _new_handle(self, label: str) -> TaskHandle:
+        task_id = next(self._task_ids)
+        handle = TaskHandle(
+            task_id=task_id, label=label or f"task-{task_id}",
+            submit_time=self.now,
+        )
+        self._handles[task_id] = handle
+        self._task_entities[task_id] = set()
+        return handle
+
+    def _add_entities(
+        self, handle: TaskHandle, entities: list[_Entity]
+    ) -> None:
+        for entity in entities:
+            entity_id = next(self._entity_ids)
+            self._entities[entity_id] = entity
+            self._task_entities[handle.task_id].add(entity_id)
+        self._rates_valid = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def active_task_count(self) -> int:
+        return sum(1 for ids in self._task_entities.values() if ids)
+
+    def current_rate(self, handle: TaskHandle) -> float:
+        """Aggregate current rate of a task (sum over its live entities)."""
+        self._ensure_rates()
+        ids = self._task_entities.get(handle.task_id, set())
+        return sum(self._entities[i].rate for i in ids)
+
+    def current_usage(self) -> tuple[dict[int, float], dict[int, float]]:
+        """Bandwidth currently consumed by live tasks, per node.
+
+        Returns (uplink usage, downlink usage) in bytes/second.  This is
+        what a Master observes on top of foreground traffic and must
+        subtract when planning new repairs next to running ones.
+        """
+        self._ensure_rates()
+        up: dict[int, float] = {}
+        down: dict[int, float] = {}
+        for entity in self._entities.values():
+            for (kind, node), coefficient in entity.usage.items():
+                if kind == "up":
+                    up[node] = up.get(node, 0.0) + coefficient * entity.rate
+                elif kind == "down":
+                    down[node] = (
+                        down.get(node, 0.0) + coefficient * entity.rate
+                    )
+                # Rack-level resources are not per-node usage.
+        return up, down
+
+    # ------------------------------------------------------------------
+    # Time advancement
+    # ------------------------------------------------------------------
+    def run(self, max_time: float = math.inf) -> list[TaskHandle]:
+        """Run until every submitted task completes (or ``max_time``).
+
+        Returns handles of tasks completed during this call.
+        """
+        completed: list[TaskHandle] = []
+        while any(self._task_entities.values()):
+            newly = self._advance(max_time)
+            completed.extend(newly)
+            if self.now >= max_time:
+                break
+        return completed
+
+    def advance_to(self, t: float) -> list[TaskHandle]:
+        """Advance simulated time to ``t``, processing any events on the way.
+
+        Used to model serial planning delays at the Master: time passes (and
+        running tasks make progress) while a plan is being computed.
+        Returns tasks that completed before ``t``.
+        """
+        if t < self.now:
+            raise SimulationError(
+                f"cannot advance to {t} before current time {self.now}"
+            )
+        completed: list[TaskHandle] = []
+        while self.now < t and any(self._task_entities.values()):
+            completed.extend(self._advance(t))
+        self.now = max(self.now, t)
+        self._rates_valid = False
+        return completed
+
+    def run_until_completion(
+        self, max_time: float = math.inf
+    ) -> list[TaskHandle]:
+        """Advance until at least one task completes; return the finishers.
+
+        Lets an orchestrator (e.g., the full-node scheduler) react to each
+        completion by submitting more work.  Returns an empty list if no
+        task is active or ``max_time`` was hit first.
+        """
+        while any(self._task_entities.values()):
+            newly = self._advance(max_time)
+            if newly or self.now >= max_time:
+                return newly
+        return []
+
+    def _advance(self, max_time: float) -> list[TaskHandle]:
+        """Advance to the next event; return tasks that completed at it."""
+        self._ensure_rates()
+        next_capacity_change = self.network.next_change_after(self.now)
+        earliest_finish = math.inf
+        for entity in self._entities.values():
+            if entity.rate > 0:
+                earliest_finish = min(
+                    earliest_finish, self.now + entity.remaining / entity.rate
+                )
+        next_event = min(next_capacity_change, earliest_finish, max_time)
+        if not math.isfinite(next_event):
+            raise SimulationError(
+                "simulation is stuck: active tasks have zero rate and no "
+                "future capacity change will unblock them"
+            )
+        elapsed = next_event - self.now
+        if elapsed < 0:
+            raise SimulationError("time went backwards")
+        for entity in self._entities.values():
+            entity.remaining -= entity.rate * elapsed
+        self.now = next_event
+        self._rates_valid = False
+
+        # An entity is done when its residue is negligible either in bytes
+        # or in drain time.  The time criterion matters: once `now` is large,
+        # a residue that drains faster than the float resolution of `now`
+        # would otherwise schedule zero-length advances forever.
+        finished_entities = [
+            entity_id
+            for entity_id, entity in self._entities.items()
+            if entity.remaining <= 1e-6
+            or (entity.rate > 0 and entity.remaining / entity.rate < 1e-9)
+        ]
+        completed: list[TaskHandle] = []
+        for entity_id in finished_entities:
+            entity = self._entities.pop(entity_id)
+            members = self._task_entities[entity.task_id]
+            members.discard(entity_id)
+            if not members:
+                handle = self._handles[entity.task_id]
+                handle.finish_time = self.now
+                completed.append(handle)
+        return completed
+
+    def _ensure_rates(self) -> None:
+        if self._rates_valid:
+            return
+        entities = list(self._entities.values())
+        capacities = self.network.capacities_at(self.now)
+        rates = max_min_allocate(
+            [e.usage for e in entities],
+            capacities,
+            rate_caps=[e.max_rate for e in entities],
+        )
+        for entity, rate in zip(entities, rates):
+            entity.rate = rate
+        self._rates_valid = True

@@ -1,0 +1,109 @@
+"""Star (single-switch) cluster topology.
+
+The paper assumes all nodes hang off one non-blocking switch (Section IV-F),
+so the only capacity constraints are each node's uplink and downlink.  The
+available bandwidth of a directed link ``i -> j`` at time ``t`` is
+``min(up_i(t), down_j(t))`` — exactly the assumption stated under Figure 3.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.network.bandwidth import BandwidthTrace, NodeBandwidth
+from repro.exceptions import SimulationError
+
+
+class StarNetwork:
+    """A cluster of nodes connected through a single switch."""
+
+    def __init__(self, nodes: Sequence[NodeBandwidth]):
+        if not nodes:
+            raise SimulationError("a network needs at least one node")
+        self._nodes = list(nodes)
+
+    @classmethod
+    def constant(
+        cls, ups: Sequence[float], downs: Sequence[float]
+    ) -> StarNetwork:
+        """Build a static network from per-node up/down capacities."""
+        if len(ups) != len(downs):
+            raise SimulationError(
+                f"{len(ups)} uplinks but {len(downs)} downlinks"
+            )
+        return cls(
+            [NodeBandwidth.constant(u, d) for u, d in zip(ups, downs)]
+        )
+
+    @classmethod
+    def uniform(cls, node_count: int, capacity: float) -> StarNetwork:
+        """A homogeneous network (every link has the same capacity)."""
+        return cls.constant([capacity] * node_count, [capacity] * node_count)
+
+    @classmethod
+    def from_traces(
+        cls,
+        up_traces: Sequence[BandwidthTrace],
+        down_traces: Sequence[BandwidthTrace],
+    ) -> StarNetwork:
+        if len(up_traces) != len(down_traces):
+            raise SimulationError("uplink/downlink trace counts differ")
+        return cls(
+            [NodeBandwidth(u, d) for u, d in zip(up_traces, down_traces)]
+        )
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def node_ids(self) -> range:
+        return range(len(self._nodes))
+
+    def node(self, node_id: int) -> NodeBandwidth:
+        self._check(node_id)
+        return self._nodes[node_id]
+
+    def up_at(self, node_id: int, t: float) -> float:
+        return self.node(node_id).up_at(t)
+
+    def down_at(self, node_id: int, t: float) -> float:
+        return self.node(node_id).down_at(t)
+
+    def link_bandwidth(self, src: int, dst: int, t: float) -> float:
+        """Available bandwidth of the directed link src -> dst at time t."""
+        if src == dst:
+            raise SimulationError(f"self-link on node {src}")
+        return min(self.up_at(src, t), self.down_at(dst, t))
+
+    def next_change_after(self, t: float) -> float:
+        """Earliest capacity breakpoint strictly after ``t`` on any node."""
+        return min(node.next_change_after(t) for node in self._nodes)
+
+    # ------------------------------------------------------------------
+    # Fluid-simulator topology interface
+    # ------------------------------------------------------------------
+    def capacities_at(self, t: float) -> dict:
+        """All shared resources and their capacities at time ``t``.
+
+        In a star topology the only resources are each node's uplink and
+        downlink (the switch is non-blocking).
+        """
+        capacities = {}
+        for node_id, node in enumerate(self._nodes):
+            capacities[("up", node_id)] = node.up_at(t)
+            capacities[("down", node_id)] = node.down_at(t)
+        return capacities
+
+    def edge_usage(self, src: int, dst: int) -> dict:
+        """Resources one unit of rate on the directed edge src -> dst uses."""
+        self._check(src)
+        self._check(dst)
+        if src == dst:
+            raise SimulationError(f"self-edge on node {src}")
+        return {("up", src): 1.0, ("down", dst): 1.0}
+
+    def _check(self, node_id: int) -> None:
+        if not 0 <= node_id < len(self._nodes):
+            raise SimulationError(
+                f"node {node_id} outside network of {len(self._nodes)} nodes"
+            )

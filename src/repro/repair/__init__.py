@@ -1,0 +1,40 @@
+"""Repair execution: pipelined timing, executors, full-node orchestration."""
+
+from repro.repair.executor import execute_plan, repair_single_chunk
+from repro.repair.fullnode import (
+    choose_requestor,
+    repair_full_node,
+    repair_full_node_adaptive,
+)
+from repro.repair.metrics import FullNodeResult, RepairResult
+from repro.repair.multichunk import (
+    MultiChunkPlan,
+    execute_multi_chunk,
+    plan_multi_chunk,
+)
+from repro.repair.slicesim import fluid_estimate, simulate_slices
+from repro.repair.pipeline import (
+    ExecutionConfig,
+    ideal_transfer_seconds,
+    pipeline_bytes_per_edge,
+    pipeline_overhead_seconds,
+)
+
+__all__ = [
+    "ExecutionConfig",
+    "FullNodeResult",
+    "MultiChunkPlan",
+    "RepairResult",
+    "execute_multi_chunk",
+    "fluid_estimate",
+    "plan_multi_chunk",
+    "simulate_slices",
+    "choose_requestor",
+    "execute_plan",
+    "ideal_transfer_seconds",
+    "pipeline_bytes_per_edge",
+    "pipeline_overhead_seconds",
+    "repair_full_node",
+    "repair_full_node_adaptive",
+    "repair_single_chunk",
+]

@@ -1,0 +1,54 @@
+"""Result records for single-chunk and full-node repairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plan import RepairPlan
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one single-chunk repair.
+
+    ``planning_seconds`` is real wall-clock planner cost (extrapolated for
+    budget-capped enumerators); ``transfer_seconds`` is simulated time.
+    """
+
+    scheme: str
+    planning_seconds: float
+    transfer_seconds: float
+    bmin: float
+    plan: RepairPlan | None = None
+
+    @property
+    def total_seconds(self) -> float:
+        """Overall repair time = algorithm running time + transfer time."""
+        return self.planning_seconds + self.transfer_seconds
+
+
+@dataclass
+class FullNodeResult:
+    """Outcome of repairing every lost chunk of a failed node."""
+
+    scheme: str
+    failed_node: int
+    total_seconds: float
+    task_results: list[RepairResult] = field(default_factory=list)
+
+    @property
+    def chunks_repaired(self) -> int:
+        return len(self.task_results)
+
+    @property
+    def mean_task_seconds(self) -> float:
+        if not self.task_results:
+            return 0.0
+        return sum(r.total_seconds for r in self.task_results) / len(
+            self.task_results
+        )
+
+    def repair_rate_chunks_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.chunks_repaired / self.total_seconds

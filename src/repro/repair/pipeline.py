@@ -1,0 +1,74 @@
+"""Slice-level pipelined execution model.
+
+A pipelined repair moves a chunk of ``C`` bytes as ``S = ceil(C / s)`` slices
+of size ``s`` through a tree of depth ``d``.  In steady state every edge
+streams at the task rate ``r``; the pipeline additionally pays
+
+* a **fill cost** — the first slice crosses ``d`` hops before results start
+  arriving at the requestor, adding roughly ``(d - 1) * s`` extra bytes of
+  serialised transfer per edge, and
+* a **per-slice overhead** — each slice costs a small fixed handling time
+  (RPC dispatch, GF(2^8) multiply-XOR that is not perfectly overlapped).
+
+With 64 MiB chunks and 32 KiB slices both corrections are tiny relative to
+``C / r``, which is why the paper's Experiment 4 finds repair time flat in
+the slice size; they matter at the extremes of the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ec.chunk import DEFAULT_CHUNK_SIZE, DEFAULT_SLICE_SIZE, slice_count
+from repro.exceptions import PlanningError
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Parameters of a repair execution."""
+
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    slice_size: int = DEFAULT_SLICE_SIZE
+    #: Fixed cost per slice (seconds) not hidden by pipelining.
+    per_slice_overhead: float = 2e-6
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise PlanningError("chunk size must be positive")
+        if self.slice_size <= 0:
+            raise PlanningError("slice size must be positive")
+        if self.slice_size > self.chunk_size:
+            object.__setattr__(self, "slice_size", self.chunk_size)
+        if self.per_slice_overhead < 0:
+            raise PlanningError("per-slice overhead cannot be negative")
+
+    @property
+    def slices(self) -> int:
+        return slice_count(self.chunk_size, self.slice_size)
+
+
+def pipeline_bytes_per_edge(config: ExecutionConfig, depth: int) -> float:
+    """Bytes each tree edge effectively carries, including pipeline fill."""
+    if depth < 1:
+        raise PlanningError(f"tree depth must be >= 1, got {depth}")
+    return config.chunk_size + (depth - 1) * config.slice_size
+
+
+def pipeline_overhead_seconds(config: ExecutionConfig) -> float:
+    """Serial per-slice handling cost over the whole chunk."""
+    return config.slices * config.per_slice_overhead
+
+
+def ideal_transfer_seconds(
+    config: ExecutionConfig, depth: int, bmin: float
+) -> float:
+    """Closed-form transfer time when bandwidth is constant.
+
+    Useful for sanity checks against the fluid simulation.
+    """
+    if bmin <= 0:
+        raise PlanningError("bottleneck bandwidth must be positive")
+    return (
+        pipeline_bytes_per_edge(config, depth) / bmin
+        + pipeline_overhead_seconds(config)
+    )

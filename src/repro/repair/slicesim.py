@@ -1,0 +1,107 @@
+"""Slice-level discrete simulation of a pipelined repair tree.
+
+The fluid executor models a pipelined repair as one coupled flow at the
+tree's bottleneck rate plus a closed-form fill correction.  This module
+validates that abstraction from below: it simulates the *actual* mechanism
+of Section IV-D — the chunk split into slices, each node forwarding slice
+``i`` to its parent only after receiving slice ``i`` from all of its
+children, every edge serialising its slices at its share of the parent's
+downlink.
+
+Bandwidths are taken from a static snapshot (the regime of Experiments 4
+and 5, "a fixed bandwidth situation").  The recurrence per edge
+``child -> parent``::
+
+    finish[child][i] = max(arrive[child][i], finish[child][i-1])
+                       + slice_size / rate(child -> parent) + overhead
+
+with ``arrive[node][i]`` the time slice ``i`` is fully aggregated at
+``node`` (max over its children's ``finish``; 0 for leaves, which hold
+their own data), and the repair completes at ``arrive[root][S-1]``.
+"""
+
+from __future__ import annotations
+
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.tree import RepairTree
+from repro.exceptions import SimulationError
+from repro.repair.pipeline import ExecutionConfig
+
+
+def edge_rate(
+    snapshot: BandwidthSnapshot, tree: RepairTree, child: int
+) -> float:
+    """Static rate of the edge child -> parent(child).
+
+    The parent's downlink is shared evenly among its children, matching
+    the fluid model's fan-in coefficient (Figure 1(d)).
+    """
+    parent = tree.parent(child)
+    if parent is None:
+        raise SimulationError(f"node {child} is the root; no upward edge")
+    share = snapshot.down_of(parent) / tree.child_count(parent)
+    return min(snapshot.up_of(child), share)
+
+
+def simulate_slices(
+    tree: RepairTree,
+    snapshot: BandwidthSnapshot,
+    config: ExecutionConfig | None = None,
+) -> float:
+    """Transfer time of one pipelined single-chunk repair, slice level."""
+    config = config or ExecutionConfig()
+    slices = config.slices
+    slice_seconds: dict[int, float] = {}
+    for helper in tree.helpers:
+        rate = edge_rate(snapshot, tree, helper)
+        if rate <= 0:
+            raise SimulationError(
+                f"edge from node {helper} has zero bandwidth"
+            )
+        slice_seconds[helper] = (
+            config.slice_size / rate + config.per_slice_overhead
+        )
+
+    # Post-order walk: children's finish times feed the parent's arrivals.
+    order: list[int] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        stack.extend(tree.children(node))
+    order.reverse()  # children before parents
+
+    finish: dict[int, list[float]] = {}
+    arrive: dict[int, list[float]] = {}
+    for node in order:
+        kids = tree.children(node)
+        if kids:
+            arrivals = [
+                max(finish[child][i] for child in kids)
+                for i in range(slices)
+            ]
+        else:
+            arrivals = [0.0] * slices
+        arrive[node] = arrivals
+        if node == tree.root:
+            continue
+        per_slice = slice_seconds[node]
+        out = []
+        previous = 0.0
+        for i in range(slices):
+            previous = max(arrivals[i], previous) + per_slice
+            out.append(previous)
+        finish[node] = out
+    return arrive[tree.root][slices - 1]
+
+
+def fluid_estimate(
+    tree: RepairTree,
+    snapshot: BandwidthSnapshot,
+    config: ExecutionConfig | None = None,
+) -> float:
+    """The fluid executor's closed-form estimate for the same repair."""
+    from repro.repair.pipeline import ideal_transfer_seconds
+
+    config = config or ExecutionConfig()
+    return ideal_transfer_seconds(config, tree.depth(), tree.bmin(snapshot))

@@ -1,0 +1,94 @@
+"""Plain-text reporting helpers (tables, bars, unit formatting).
+
+Used by the CLI and the examples; benchmarks write similar tables under
+``benchmarks/results/``.  No plotting dependencies — output is terminal-
+and log-friendly text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.units import to_mbps
+
+
+def format_seconds(value: float) -> str:
+    """Human-scaled duration: us / ms / s with sensible precision."""
+    if value < 0:
+        return "-" + format_seconds(-value)
+    if value >= 100:
+        return f"{value:.3g} s"
+    if value >= 0.1:
+        return f"{value:.2f} s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.2f} ms"
+    return f"{value * 1e6:.1f} us"
+
+
+def format_mbps(bytes_per_second: float) -> str:
+    """Bandwidth in Mb/s (the paper's unit)."""
+    return f"{to_mbps(bytes_per_second):.0f} Mb/s"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Render an aligned text table; columns auto-size to their content."""
+    if not headers:
+        raise ValueError("a table needs headers")
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}"
+            )
+        cells.append([str(x) for x in row])
+    widths = [
+        max(len(line[col]) for line in cells) for col in range(len(headers))
+    ]
+    lines = []
+    for index, line in enumerate(cells):
+        lines.append(
+            "  ".join(text.rjust(width) for text, width in zip(line, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart, scaled to the largest value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values lengths differ")
+    if not labels:
+        return ""
+    if any(v < 0 for v in values):
+        raise ValueError("bar charts need non-negative values")
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        suffix = f" {value:g}{unit}" if unit else f" {value:g}"
+        lines.append(f"{label.rjust(label_width)} |{bar}{suffix}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line sparkline (8 levels) for a time series."""
+    glyphs = "▁▂▃▄▅▆▇█"
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return glyphs[0] * len(values)
+    span = high - low
+    return "".join(
+        glyphs[min(int((v - low) / span * 8), 7)] for v in values
+    )

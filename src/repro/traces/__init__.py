@@ -1,0 +1,60 @@
+"""Workload traces: synthetic generators and measurement analysis."""
+
+from repro.traces.analysis import (
+    CV_THRESHOLD,
+    TABLE1_THRESHOLDS,
+    Table1Row,
+    congested_seconds,
+    congestion_episode_stats,
+    cv_per_second,
+    fig2_series,
+    heterogeneous_congestion_fraction,
+    pivot_availability,
+    table1,
+    usage_rates,
+)
+from repro.traces.replay import (
+    ForegroundFlow,
+    ForegroundReplay,
+    competition_network,
+    repair_under_competition,
+    synthesize_flows,
+)
+from repro.traces.generators import (
+    PROFILES,
+    SWIM,
+    TPC_DS,
+    TPC_H,
+    WorkloadProfile,
+    generate_all,
+    generate_trace,
+)
+from repro.traces.workload import DEFAULT_CAPACITY, WorkloadTrace
+
+__all__ = [
+    "CV_THRESHOLD",
+    "DEFAULT_CAPACITY",
+    "PROFILES",
+    "SWIM",
+    "TABLE1_THRESHOLDS",
+    "TPC_DS",
+    "TPC_H",
+    "Table1Row",
+    "WorkloadProfile",
+    "WorkloadTrace",
+    "ForegroundFlow",
+    "ForegroundReplay",
+    "competition_network",
+    "congested_seconds",
+    "congestion_episode_stats",
+    "repair_under_competition",
+    "synthesize_flows",
+    "cv_per_second",
+    "fig2_series",
+    "generate_all",
+    "generate_trace",
+    "heterogeneous_congestion_fraction",
+    "pivot_availability",
+    "table1",
+    "usage_rates",
+]

@@ -1,0 +1,141 @@
+"""Workload trace container.
+
+A :class:`WorkloadTrace` holds per-node *used* uplink/downlink bandwidth
+sampled at fixed intervals — the quantity the paper measures with ``nload``
+(Section III-A).  Available bandwidth for repair is the edge capacity minus
+the used bandwidth, per direction, which converts directly into the
+time-varying :class:`~repro.network.topology.StarNetwork` the repair
+experiments run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.network.bandwidth import BandwidthTrace
+from repro.network.topology import StarNetwork
+from repro.units import gbps
+
+
+@dataclass
+class WorkloadTrace:
+    """Used bandwidth of every node over time.
+
+    Attributes:
+        name: workload label ("TPC-DS", "TPC-H", "SWIM", ...).
+        capacity: per-direction edge bandwidth in bytes/second (1 Gb/s in
+            the paper's testbed).
+        used_up: array of shape (nodes, samples), bytes/second.
+        used_down: same shape, bytes/second.
+        interval: sampling interval in seconds.
+    """
+
+    name: str
+    capacity: float
+    used_up: np.ndarray
+    used_down: np.ndarray
+    interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.used_up = np.asarray(self.used_up, dtype=float)
+        self.used_down = np.asarray(self.used_down, dtype=float)
+        if self.used_up.shape != self.used_down.shape:
+            raise TraceError("used_up and used_down shapes differ")
+        if self.used_up.ndim != 2:
+            raise TraceError("usage arrays must be (nodes, samples)")
+        if self.capacity <= 0:
+            raise TraceError("capacity must be positive")
+        if self.interval <= 0:
+            raise TraceError("interval must be positive")
+        for array in (self.used_up, self.used_down):
+            if (array < 0).any():
+                raise TraceError("used bandwidth cannot be negative")
+            if (array > self.capacity + 1e-6).any():
+                raise TraceError("used bandwidth exceeds capacity")
+
+    @property
+    def node_count(self) -> int:
+        return self.used_up.shape[0]
+
+    @property
+    def sample_count(self) -> int:
+        return self.used_up.shape[1]
+
+    @property
+    def duration(self) -> float:
+        return self.sample_count * self.interval
+
+    def used_node_bandwidth(self) -> np.ndarray:
+        """max(used up, used down) per node per second (§III-A)."""
+        return np.maximum(self.used_up, self.used_down)
+
+    def available_up(self) -> np.ndarray:
+        return np.clip(self.capacity - self.used_up, 0.0, None)
+
+    def available_down(self) -> np.ndarray:
+        return np.clip(self.capacity - self.used_down, 0.0, None)
+
+    def available_node_bandwidth(self) -> np.ndarray:
+        """min(available up, available down) per node per second."""
+        return np.minimum(self.available_up(), self.available_down())
+
+    def to_network(self, floor: float = 0.0) -> StarNetwork:
+        """Star network whose available capacities replay this trace.
+
+        Args:
+            floor: minimum available bandwidth (bytes/second) so that the
+                repair never fully starves (models the rate-throttled repair
+                reservation practical systems keep [24, 48]).
+        """
+        ups = []
+        downs = []
+        for node in range(self.node_count):
+            up_vals = np.clip(self.available_up()[node], floor, None)
+            down_vals = np.clip(self.available_down()[node], floor, None)
+            ups.append(BandwidthTrace.from_samples(up_vals, self.interval))
+            downs.append(BandwidthTrace.from_samples(down_vals, self.interval))
+        return StarNetwork.from_traces(ups, downs)
+
+    def window(self, start_sample: int, samples: int) -> WorkloadTrace:
+        """A sub-trace of ``samples`` samples starting at ``start_sample``."""
+        if not 0 <= start_sample < self.sample_count:
+            raise TraceError(f"start sample {start_sample} out of range")
+        end = min(start_sample + samples, self.sample_count)
+        return WorkloadTrace(
+            name=self.name,
+            capacity=self.capacity,
+            used_up=self.used_up[:, start_sample:end],
+            used_down=self.used_down[:, start_sample:end],
+            interval=self.interval,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        np.savez_compressed(
+            path,
+            name=self.name,
+            capacity=self.capacity,
+            used_up=self.used_up,
+            used_down=self.used_down,
+            interval=self.interval,
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> WorkloadTrace:
+        with np.load(path, allow_pickle=False) as data:
+            return cls(
+                name=str(data["name"]),
+                capacity=float(data["capacity"]),
+                used_up=data["used_up"],
+                used_down=data["used_down"],
+                interval=float(data["interval"]),
+            )
+
+
+DEFAULT_CAPACITY = gbps(1.0)

@@ -1,0 +1,43 @@
+"""Unit helpers.
+
+Internally the library uses **bytes** for sizes and **bytes/second** for
+bandwidth.  The paper quotes Mb/s (megabits per second) and MiB/KiB sizes;
+these helpers keep conversions explicit at API boundaries.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+#: One megabit per second, in bytes per second.
+MBPS = 1_000_000 / 8
+
+#: One gigabit per second, in bytes per second.
+GBPS = 1_000_000_000 / 8
+
+
+def mbps(value: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    return value * MBPS
+
+
+def gbps(value: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return value * GBPS
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Convert bytes/second to megabits/second."""
+    return bytes_per_second / MBPS
+
+
+def mib(value: float) -> int:
+    """Convert MiB to bytes."""
+    return int(value * MIB)
+
+
+def kib(value: float) -> int:
+    """Convert KiB to bytes."""
+    return int(value * KIB)

@@ -1,0 +1,76 @@
+"""Tests for PPR and conventional repair baselines."""
+
+import math
+
+import pytest
+
+from repro.baselines.conventional import ConventionalPlanner
+from repro.baselines.ppr import PPRPlanner, ppr_stages
+from repro.core.bandwidth_view import BandwidthSnapshot
+
+
+def uniform_snapshot(count, value=100.0):
+    return BandwidthSnapshot(
+        up={i: value for i in range(count)},
+        down={i: value for i in range(count)},
+    )
+
+
+class TestPPRStages:
+    def test_round_count_is_logarithmic(self):
+        for k in (1, 2, 3, 4, 6, 8, 10):
+            stages = ppr_stages(0, list(range(1, k + 1)))
+            assert len(stages) == math.ceil(math.log2(k)) + 1 if k > 1 else 1
+
+    def test_four_helpers_structure(self):
+        stages = ppr_stages(0, [1, 2, 3, 4])
+        assert stages == [[(2, 1), (4, 3)], [(3, 1)], [(1, 0)]]
+
+    def test_odd_helper_carries_over(self):
+        stages = ppr_stages(0, [1, 2, 3])
+        assert stages == [[(2, 1)], [(3, 1)], [(1, 0)]]
+
+    def test_single_helper_sends_directly(self):
+        assert ppr_stages(0, [1]) == [[(1, 0)]]
+
+    def test_every_helper_sends_exactly_once(self):
+        for k in range(1, 11):
+            stages = ppr_stages(0, list(range(1, k + 1)))
+            senders = [src for stage in stages for src, _ in stage]
+            assert sorted(senders) == list(range(1, k + 1))
+
+    def test_final_stage_reaches_requestor(self):
+        stages = ppr_stages(9, [1, 2, 3, 4, 5])
+        assert stages[-1] == [(1, 9)]
+
+
+class TestPPRPlanner:
+    def test_plan_is_staged(self):
+        plan = PPRPlanner().plan(uniform_snapshot(6), 0, [1, 2, 3, 4, 5], 4)
+        assert not plan.is_pipelined
+        assert plan.stages is not None
+        assert plan.helpers == [1, 2, 3, 4]
+
+    def test_bmin_reflects_slowest_link(self):
+        view = BandwidthSnapshot(
+            up={0: 100, 1: 100, 2: 10, 3: 100, 4: 100},
+            down={i: 100 for i in range(5)},
+        )
+        plan = PPRPlanner().plan(view, 0, [1, 2, 3, 4], 4)
+        assert plan.bmin == 10
+
+
+class TestConventional:
+    def test_single_stage_star(self):
+        plan = ConventionalPlanner().plan(
+            uniform_snapshot(6), 0, [1, 2, 3, 4, 5], 4
+        )
+        assert plan.stages == [[(1, 0), (2, 0), (3, 0), (4, 0)]]
+        assert plan.helpers == [1, 2, 3, 4]
+
+    def test_bmin_is_weakest_link(self):
+        view = BandwidthSnapshot(
+            up={0: 100, 1: 50, 2: 100}, down={0: 80, 1: 100, 2: 100}
+        )
+        plan = ConventionalPlanner().plan(view, 0, [1, 2], 2)
+        assert plan.bmin == 50

@@ -1,0 +1,173 @@
+"""Tests for the PPT exhaustive-enumeration baseline."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.baselines.ppt import (
+    PPTPlanner,
+    prufer_decode,
+    rooted_trees,
+    tree_count,
+)
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.tree import RepairTree
+from repro.exceptions import PlanningError
+
+
+def snap(up, down):
+    return BandwidthSnapshot(up=up, down=down)
+
+
+def prufer_encode(edges, size):
+    """Reference encoder used to verify the decoder round-trips."""
+    adjacency = {i: set() for i in range(size)}
+    for a, b in edges:
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    sequence = []
+    for _ in range(size - 2):
+        leaf = min(node for node, nbrs in adjacency.items() if len(nbrs) == 1)
+        neighbour = next(iter(adjacency[leaf]))
+        sequence.append(neighbour)
+        adjacency[neighbour].discard(leaf)
+        del adjacency[leaf]
+    return sequence
+
+
+class TestPrufer:
+    def test_decode_rejects_bad_input(self):
+        with pytest.raises(PlanningError):
+            prufer_decode([], 1)
+        with pytest.raises(PlanningError):
+            prufer_decode([0, 1], 3)
+        with pytest.raises(PlanningError):
+            prufer_decode([5], 3)
+
+    def test_decode_produces_spanning_tree(self):
+        for size in (3, 4, 5):
+            for sequence in itertools.product(range(size), repeat=size - 2):
+                edges = prufer_decode(list(sequence), size)
+                assert len(edges) == size - 1
+                nodes = {x for e in edges for x in e}
+                assert nodes == set(range(size))
+
+    def test_encode_decode_round_trip(self):
+        for size in (3, 4, 5):
+            for sequence in itertools.product(range(size), repeat=size - 2):
+                edges = prufer_decode(list(sequence), size)
+                assert prufer_encode(edges, size) == list(sequence)
+
+    def test_all_decoded_trees_distinct(self):
+        size = 5
+        seen = set()
+        for sequence in itertools.product(range(size), repeat=size - 2):
+            edges = frozenset(
+                tuple(sorted(e)) for e in prufer_decode(list(sequence), size)
+            )
+            seen.add(edges)
+        assert len(seen) == size ** (size - 2)  # Cayley's formula
+
+
+class TestRootedTrees:
+    def test_counts_match_cayley(self):
+        for m in (2, 3, 4, 5):
+            labels = list(range(10, 10 + m))
+            trees = list(rooted_trees(labels, labels[0]))
+            expected = 1 if m == 2 else m ** (m - 2)
+            assert len(trees) == expected
+            # All distinct.
+            assert len({frozenset(t.items()) for t in trees}) == expected
+
+    def test_trees_are_valid(self):
+        labels = [7, 3, 9, 5]
+        for parents in rooted_trees(labels, 7):
+            tree = RepairTree(7, parents)
+            assert sorted(tree.helpers) == [3, 5, 9]
+
+    def test_root_must_be_label(self):
+        with pytest.raises(PlanningError):
+            list(rooted_trees([1, 2], 5))
+
+    def test_single_label_rejected(self):
+        with pytest.raises(PlanningError):
+            list(rooted_trees([1], 1))
+
+
+class TestTreeCount:
+    def test_first_k_matches_formula(self):
+        assert tree_count(5, 4) == 5**3
+        assert tree_count(8, 6) == 7**5
+        assert tree_count(4, 1) == 1
+
+    def test_all_subsets_matches_formula(self):
+        assert tree_count(5, 4, "all_subsets") == 5 * 5**3
+        assert tree_count(8, 6, "all_subsets") == 28 * 7**5
+        assert tree_count(4, 1, "all_subsets") == 4
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(PlanningError):
+            tree_count(5, 4, "best_k")
+
+    def test_grows_exponentially_with_k(self):
+        counts = [tree_count(13, k) for k in (4, 6, 8, 10)]
+        assert all(b / a > 50 for a, b in zip(counts, counts[1:]))
+
+
+class TestPPTPlanner:
+    def test_all_subsets_finds_figure4_optimum(self):
+        up = {2: 750, 3: 500, 4: 150, 5: 500, 6: 500, 0: 980}
+        down = {2: 100, 3: 130, 4: 1000, 5: 200, 6: 900, 0: 980}
+        plan = PPTPlanner(helper_selection="all_subsets").plan(
+            snap(up, down), 0, [2, 3, 4, 5, 6], 4
+        )
+        assert plan.bmin == pytest.approx(450)
+        assert plan.trees_examined == tree_count(5, 4, "all_subsets")
+        assert plan.extrapolated_seconds is None
+        assert plan.notes["capped"] is False
+
+    def test_first_k_restricts_helper_pool(self):
+        up = {2: 750, 3: 500, 4: 150, 5: 500, 6: 500, 0: 980}
+        down = {2: 100, 3: 130, 4: 1000, 5: 200, 6: 900, 0: 980}
+        plan = PPTPlanner().plan(snap(up, down), 0, [2, 3, 4, 5], 4)
+        assert sorted(plan.helpers) == [2, 3, 4, 5]
+        assert plan.trees_examined == tree_count(4, 4)
+        # Best tree over {N2..N5} cannot use N6's strong links.
+        assert plan.bmin < 450
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(PlanningError):
+            PPTPlanner(helper_selection="best")
+
+    def test_beats_every_chain(self):
+        rng = np.random.default_rng(17)
+        up = {i: float(rng.integers(10, 1000)) for i in range(6)}
+        down = {i: float(rng.integers(10, 1000)) for i in range(6)}
+        view = snap(up, down)
+        plan = PPTPlanner(helper_selection="all_subsets").plan(
+            view, 0, [1, 2, 3, 4, 5], 3
+        )
+        for helpers in itertools.permutations([1, 2, 3, 4, 5], 3):
+            chain = RepairTree.chain(0, list(helpers))
+            assert plan.bmin >= chain.bmin(view) - 1e-9
+
+    def test_budget_cap_extrapolates(self):
+        view = snap(
+            {i: 100.0 for i in range(12)}, {i: 100.0 for i in range(12)}
+        )
+        plan = PPTPlanner(tree_budget=100).plan(
+            view, 0, list(range(1, 12)), 8
+        )
+        assert plan.notes["capped"] is True
+        assert plan.extrapolated_seconds is not None
+        assert plan.extrapolated_seconds > plan.planning_seconds
+        assert plan.effective_planning_seconds == plan.extrapolated_seconds
+        # The fallback tree is still a valid plan with optimal B_min
+        # (Theorem 1), here the uniform network's k-ary optimum.
+        assert plan.tree is not None
+        assert len(plan.tree.helpers) == 8
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(PlanningError):
+            PPTPlanner(tree_budget=0)

@@ -1,0 +1,86 @@
+"""Tests for DataNode storage and repair-time computation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.node import DataNode
+from repro.ec import galois
+from repro.ec.chunk import ChunkId
+from repro.exceptions import ClusterError
+
+
+def payload(seed, size=32):
+    return np.random.default_rng(seed).integers(0, 256, size, dtype=np.uint8)
+
+
+class TestStorage:
+    def test_store_read(self):
+        node = DataNode(3)
+        cid = ChunkId(0, 1)
+        node.store(cid, payload(1))
+        np.testing.assert_array_equal(node.read(cid), payload(1))
+        assert node.has(cid)
+        assert node.chunk_count == 1
+
+    def test_read_missing_raises(self):
+        with pytest.raises(ClusterError):
+            DataNode(0).read(ChunkId(0, 0))
+
+    def test_chunk_ids_sorted(self):
+        node = DataNode(0)
+        node.store(ChunkId(1, 0), payload(1))
+        node.store(ChunkId(0, 2), payload(2))
+        node.store(ChunkId(0, 1), payload(3))
+        assert node.chunk_ids() == [ChunkId(0, 1), ChunkId(0, 2), ChunkId(1, 0)]
+
+    def test_repr(self):
+        assert "up" in repr(DataNode(0))
+
+
+class TestFailure:
+    def test_fail_drops_data_and_blocks_access(self):
+        node = DataNode(0)
+        cid = ChunkId(0, 0)
+        node.store(cid, payload(1))
+        node.fail()
+        assert not node.alive
+        assert not node.has(cid)
+        with pytest.raises(ClusterError):
+            node.read(cid)
+        with pytest.raises(ClusterError):
+            node.store(cid, payload(1))
+
+    def test_recover_comes_back_empty(self):
+        node = DataNode(0)
+        node.store(ChunkId(0, 0), payload(1))
+        node.fail()
+        node.recover()
+        assert node.alive
+        assert node.chunk_count == 0
+        node.store(ChunkId(0, 0), payload(2))  # writable again
+
+
+class TestPartialResult:
+    def test_scales_own_chunk(self):
+        node = DataNode(0)
+        cid = ChunkId(0, 0)
+        data = payload(5)
+        node.store(cid, data)
+        out = node.partial_result(cid, 3, [])
+        np.testing.assert_array_equal(out, galois.gf_mul_slice(3, data))
+
+    def test_xors_child_results(self):
+        node = DataNode(0)
+        cid = ChunkId(0, 0)
+        data = payload(5)
+        node.store(cid, data)
+        child_a, child_b = payload(6), payload(7)
+        out = node.partial_result(cid, 1, [child_a, child_b])
+        np.testing.assert_array_equal(out, data ^ child_a ^ child_b)
+
+    def test_size_mismatch_rejected(self):
+        node = DataNode(0)
+        cid = ChunkId(0, 0)
+        node.store(cid, payload(5, size=32))
+        with pytest.raises(ClusterError):
+            node.partial_result(cid, 1, [payload(6, size=16)])

@@ -1,0 +1,60 @@
+"""Tests for BandwidthSnapshot."""
+
+import pytest
+
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.exceptions import PlanningError
+from repro.network.bandwidth import BandwidthTrace
+from repro.network.topology import StarNetwork
+
+
+def snap(up, down, time=0.0):
+    return BandwidthSnapshot(up=up, down=down, time=time)
+
+
+class TestValidation:
+    def test_mismatched_node_sets_rejected(self):
+        with pytest.raises(PlanningError):
+            snap({0: 1}, {1: 1})
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(PlanningError):
+            snap({0: -1}, {0: 1})
+
+    def test_unknown_node_rejected(self):
+        view = snap({0: 1}, {0: 1})
+        with pytest.raises(PlanningError):
+            view.up_of(5)
+
+    def test_self_link_rejected(self):
+        view = snap({0: 1, 1: 1}, {0: 1, 1: 1})
+        with pytest.raises(PlanningError):
+            view.link(1, 1)
+
+
+class TestSemantics:
+    def test_theo_is_min(self):
+        view = snap({0: 100, 1: 30}, {0: 50, 1: 90})
+        assert view.theo(0) == 50
+        assert view.theo(1) == 30
+
+    def test_link_is_min_of_up_and_down(self):
+        view = snap({0: 100, 1: 30}, {0: 50, 1: 90})
+        assert view.link(0, 1) == 90
+        assert view.link(1, 0) == 30
+
+    def test_nodes_sorted(self):
+        view = snap({2: 1, 0: 1, 1: 1}, {2: 1, 0: 1, 1: 1})
+        assert view.nodes == [0, 1, 2]
+
+    def test_from_network_samples_time(self):
+        net = StarNetwork.from_traces(
+            [BandwidthTrace([0, 10], [100, 40])],
+            [BandwidthTrace.constant(80)],
+        )
+        early = BandwidthSnapshot.from_network(net, 0)
+        late = BandwidthSnapshot.from_network(net, 10)
+        assert early.up_of(0) == 100
+        assert late.up_of(0) == 40
+        assert late.down_of(0) == 80
+        assert late.time == 10

@@ -1,0 +1,123 @@
+"""Tests for computation-aware planning and timeslot scheduling (§IV-F)."""
+
+import pytest
+
+from repro.core import PivotRepairPlanner
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.compute import (
+    ComputeAwarePlanner,
+    ComputeView,
+    compute_load_of,
+    timeslot_schedule,
+)
+from repro.core.tree import RepairTree
+from repro.exceptions import PlanningError
+
+
+def snapshot(count=8, value=100.0):
+    return BandwidthSnapshot(
+        up={i: value for i in range(count)},
+        down={i: value for i in range(count)},
+    )
+
+
+class TestComputeView:
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(PlanningError):
+            ComputeView({0: -1.0})
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(PlanningError):
+            ComputeView({0: 1.0}).cpu_of(5)
+
+    def test_capable_nodes(self):
+        view = ComputeView({0: 1.0, 1: 0.1, 2: 0.5, 3: 0.24})
+        assert view.capable_nodes(0.25) == [0, 2]
+
+    def test_filter_preserves_order(self):
+        view = ComputeView({0: 1.0, 1: 0.1, 2: 0.5, 3: 0.9})
+        assert view.filter_candidates([3, 1, 0], 0.25) == [3, 0]
+
+
+class TestComputeAwarePlanner:
+    def test_busy_nodes_excluded(self):
+        compute = ComputeView(
+            {0: 1.0, 1: 0.0, 2: 1.0, 3: 1.0, 4: 1.0, 5: 1.0, 6: 1.0, 7: 1.0}
+        )
+        planner = ComputeAwarePlanner(PivotRepairPlanner(), compute)
+        plan = planner.plan(snapshot(), 0, [1, 2, 3, 4, 5, 6, 7], 4)
+        assert 1 not in plan.helpers
+        assert plan.scheme == "PivotRepair+compute"
+        assert plan.notes["compute_filtered"] == 1
+
+    def test_falls_back_when_too_few_capable(self):
+        # Only 2 capable candidates but k = 4: the two busiest of the rest
+        # are added back in decreasing-CPU order.
+        compute = ComputeView(
+            {0: 1.0, 1: 0.2, 2: 1.0, 3: 0.1, 4: 0.15, 5: 1.0}
+        )
+        planner = ComputeAwarePlanner(PivotRepairPlanner(), compute)
+        plan = planner.plan(snapshot(6), 0, [1, 2, 3, 4, 5], 4)
+        assert len(plan.helpers) == 4
+        assert set(plan.helpers) == {2, 5, 1, 4}  # 1 (0.2) and 4 (0.15)
+
+    def test_negative_min_cpu_rejected(self):
+        with pytest.raises(PlanningError):
+            ComputeAwarePlanner(
+                PivotRepairPlanner(), ComputeView({}), min_cpu=-1
+            )
+
+    def test_same_result_when_everyone_capable(self):
+        compute = ComputeView({i: 1.0 for i in range(8)})
+        aware = ComputeAwarePlanner(PivotRepairPlanner(), compute)
+        base = PivotRepairPlanner().plan(snapshot(), 0, [1, 2, 3, 4, 5], 4)
+        wrapped = aware.plan(snapshot(), 0, [1, 2, 3, 4, 5], 4)
+        assert wrapped.tree == base.tree
+
+
+class TestComputeLoad:
+    def test_leaf_costs_one_unit(self):
+        tree = RepairTree(0, {1: 0, 2: 1, 3: 1})
+        load = compute_load_of(tree)
+        assert load[2] == 1
+        assert load[3] == 1
+        assert load[1] == 3  # own multiply + 2 child XORs
+        assert load[0] == 1  # root XORs its single child's stream
+
+
+class TestTimeslots:
+    def chain(self, nodes):
+        return RepairTree.chain(nodes[0], nodes[1:])
+
+    def test_disjoint_tasks_share_a_slot(self):
+        trees = [self.chain([0, 1, 2]), self.chain([3, 4, 5])]
+        assert timeslot_schedule(trees, per_node_budget=3) == [[0, 1]]
+
+    def test_conflicting_tasks_split_slots(self):
+        trees = [self.chain([0, 1, 2]), self.chain([0, 1, 2])]
+        slots = timeslot_schedule(trees, per_node_budget=2)
+        assert slots == [[0], [1]]
+
+    def test_budget_allows_stacking(self):
+        trees = [self.chain([0, 1, 2]), self.chain([0, 1, 2])]
+        assert timeslot_schedule(trees, per_node_budget=4) == [[0, 1]]
+
+    def test_oversized_task_rejected(self):
+        tree = RepairTree(0, {1: 0, 2: 1, 3: 1, 4: 1})  # node 1 load = 4
+        with pytest.raises(PlanningError):
+            timeslot_schedule([tree], per_node_budget=3)
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(PlanningError):
+            timeslot_schedule([], per_node_budget=0)
+
+    def test_every_task_scheduled_exactly_once(self):
+        trees = [
+            self.chain([0, 1, 2]),
+            self.chain([1, 2, 3]),
+            self.chain([2, 3, 4]),
+            self.chain([5, 6, 7]),
+        ]
+        slots = timeslot_schedule(trees, per_node_budget=3)
+        flat = [index for slot in slots for index in slot]
+        assert sorted(flat) == [0, 1, 2, 3]

@@ -1,0 +1,106 @@
+"""Tests for the adaptive scheduling strategy (Eq. 3)."""
+
+import pytest
+
+from repro.core.scheduler import (
+    RunningTask,
+    SchedulerConfig,
+    recommendation_value,
+    tree_similarity,
+)
+from repro.core.tree import RepairTree
+from repro.exceptions import PlanningError
+from repro.units import mbps
+
+
+def make_tree(root=0, parents=None):
+    return RepairTree(root, parents or {1: 0, 2: 1, 3: 1})
+
+
+class TestConfig:
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(PlanningError):
+            SchedulerConfig(alpha=-1)
+        with pytest.raises(PlanningError):
+            SchedulerConfig(beta=-0.1)
+        with pytest.raises(PlanningError):
+            SchedulerConfig(max_concurrency=0)
+
+
+class TestRunningTask:
+    def test_uploaders_and_downloaders(self):
+        task = RunningTask(make_tree(), start_time=0.0, expected_seconds=10.0)
+        assert task.uploaders == frozenset({1, 2, 3})
+        assert task.downloaders == frozenset({0, 1})
+
+    def test_relative_delay(self):
+        task = RunningTask(make_tree(), start_time=0.0, expected_seconds=10.0)
+        assert task.relative_delay(5.0) == 0.0
+        assert task.relative_delay(10.0) == 0.0
+        assert task.relative_delay(15.0) == pytest.approx(0.5)
+
+    def test_expected_duration_must_be_positive(self):
+        with pytest.raises(PlanningError):
+            RunningTask(make_tree(), start_time=0.0, expected_seconds=0.0)
+
+
+class TestSimilarity:
+    def test_identical_trees(self):
+        tree = make_tree()
+        task = RunningTask(tree, 0.0, 10.0)
+        # 3 shared uploaders + 2 shared downloaders.
+        assert tree_similarity(tree, task) == 5
+
+    def test_disjoint_trees(self):
+        running = RunningTask(
+            RepairTree(10, {11: 10, 12: 11}), 0.0, 10.0
+        )
+        assert tree_similarity(make_tree(), running) == 0
+
+    def test_partial_overlap(self):
+        running = RunningTask(RepairTree(0, {1: 0, 9: 1}), 0.0, 10.0)
+        # Shared uploaders: {1}; shared downloaders: {0, 1}.
+        assert tree_similarity(make_tree(), running) == 3
+
+
+class TestRecommendationValue:
+    def test_no_running_tasks_gives_bmin_in_mbps(self):
+        value = recommendation_value(make_tree(), mbps(400), [], now=0.0)
+        assert value == pytest.approx(400)
+
+    def test_running_tasks_penalise(self):
+        tree = make_tree()
+        running = [RunningTask(tree, 0.0, 10.0)]
+        config = SchedulerConfig(alpha=1.0, beta=2.0)
+        value = recommendation_value(tree, mbps(400), running, 0.0, config)
+        # Similarity 5, no delay: penalty = 5 * (0 + 2) = 10.
+        assert value == pytest.approx(390)
+
+    def test_delayed_tasks_penalise_more(self):
+        tree = make_tree()
+        running = [RunningTask(tree, 0.0, 10.0)]
+        config = SchedulerConfig(alpha=1.0, beta=2.0)
+        on_time = recommendation_value(tree, mbps(400), running, 10.0, config)
+        delayed = recommendation_value(tree, mbps(400), running, 20.0, config)
+        # Delay ratio 1.0 adds 5 * 1.0 to the penalty.
+        assert on_time - delayed == pytest.approx(5.0)
+
+    def test_disjoint_running_tasks_do_not_penalise(self):
+        running = [
+            RunningTask(RepairTree(10, {11: 10, 12: 11}), 0.0, 10.0)
+        ]
+        value = recommendation_value(make_tree(), mbps(250), running, 5.0)
+        assert value == pytest.approx(250)
+
+    def test_higher_bmin_recommended(self):
+        fast = recommendation_value(make_tree(), mbps(900), [], 0.0)
+        slow = recommendation_value(make_tree(), mbps(100), [], 0.0)
+        assert fast > slow
+
+    def test_more_running_tasks_lower_value(self):
+        tree = make_tree()
+        one = [RunningTask(tree, 0.0, 10.0)]
+        two = one + [RunningTask(tree, 0.0, 10.0)]
+        v1 = recommendation_value(tree, mbps(400), one, 0.0)
+        v2 = recommendation_value(tree, mbps(400), two, 0.0)
+        assert v2 < v1

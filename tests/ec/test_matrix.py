@@ -1,0 +1,109 @@
+"""Tests for GF(2^8) matrix algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ec.matrix import gf_identity, gf_inverse, gf_matmul, vandermonde
+from repro.exceptions import SingularMatrixError
+
+
+class TestMatmul:
+    def test_identity_is_neutral(self):
+        rng = np.random.default_rng(3)
+        m = rng.integers(0, 256, size=(4, 4), dtype=np.uint8)
+        np.testing.assert_array_equal(gf_matmul(gf_identity(4), m), m)
+        np.testing.assert_array_equal(gf_matmul(m, gf_identity(4)), m)
+
+    def test_vector_result_is_one_dimensional(self):
+        m = gf_identity(3)
+        v = np.array([1, 2, 3], dtype=np.uint8)
+        out = gf_matmul(m, v)
+        assert out.shape == (3,)
+        np.testing.assert_array_equal(out, v)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            gf_matmul(gf_identity(3), gf_identity(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        arrays(np.uint8, (3, 3)),
+        arrays(np.uint8, (3, 3)),
+        arrays(np.uint8, (3, 3)),
+    )
+    def test_matmul_associative(self, a, b, c):
+        left = gf_matmul(gf_matmul(a, b), c)
+        right = gf_matmul(a, gf_matmul(b, c))
+        np.testing.assert_array_equal(left, right)
+
+
+class TestInverse:
+    def test_inverse_of_identity(self):
+        np.testing.assert_array_equal(gf_inverse(gf_identity(5)), gf_identity(5))
+
+    def test_round_trip(self):
+        m = vandermonde(4, 4)
+        inv = gf_inverse(m)
+        np.testing.assert_array_equal(gf_matmul(m, inv), gf_identity(4))
+        np.testing.assert_array_equal(gf_matmul(inv, m), gf_identity(4))
+
+    def test_singular_raises(self):
+        singular = np.array([[1, 1], [1, 1]], dtype=np.uint8)
+        with pytest.raises(SingularMatrixError):
+            gf_inverse(singular)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(SingularMatrixError):
+            gf_inverse(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_raises(self):
+        with pytest.raises(ValueError):
+            gf_inverse(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_requires_row_swap(self):
+        # Zero on the diagonal forces pivoting.
+        m = np.array([[0, 1], [1, 0]], dtype=np.uint8)
+        inv = gf_inverse(m)
+        np.testing.assert_array_equal(gf_matmul(m, inv), gf_identity(2))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=2**31 - 1))
+    def test_random_invertible_round_trip(self, size, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(0, 256, size=(size, size), dtype=np.uint8)
+        try:
+            inv = gf_inverse(m)
+        except SingularMatrixError:
+            return  # random singular matrices are legitimately rejected
+        np.testing.assert_array_equal(gf_matmul(m, inv), gf_identity(size))
+
+
+class TestVandermonde:
+    def test_first_column_is_ones(self):
+        v = vandermonde(6, 4)
+        np.testing.assert_array_equal(v[:, 0], np.ones(6, dtype=np.uint8))
+
+    def test_second_column_is_evaluation_points(self):
+        v = vandermonde(5, 3)
+        np.testing.assert_array_equal(
+            v[:, 1], np.arange(1, 6, dtype=np.uint8)
+        )
+
+    def test_every_square_submatrix_invertible(self):
+        # The MDS property of RS codes rests on this.
+        v = vandermonde(8, 4)
+        from itertools import combinations
+
+        for rows in combinations(range(8), 4):
+            gf_inverse(v[list(rows)])  # must not raise
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            vandermonde(0, 3)
+        with pytest.raises(ValueError):
+            vandermonde(3, 0)
+        with pytest.raises(ValueError):
+            vandermonde(256, 3)

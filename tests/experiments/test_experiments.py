@@ -1,0 +1,138 @@
+"""Tests for the first-class experiment runners."""
+
+import pytest
+
+from repro.exceptions import PlanningError
+from repro.experiments import (
+    SCHEMES,
+    CellResult,
+    ExperimentSettings,
+    congested_instants,
+    make_planner,
+    run_cell,
+    run_figure5,
+    run_figure7,
+    stripe_nodes_at,
+)
+from repro.experiments.sweeps import (
+    fixed_network,
+    run_chunk_size_sweep,
+    run_slice_size_sweep,
+)
+from repro.repair import ExecutionConfig
+from repro.traces import generate_all
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    traces = generate_all(duration=600, seed=2)
+    networks = {
+        name: trace.to_network(floor=1e6) for name, trace in traces.items()
+    }
+    return traces, networks
+
+
+class TestSettings:
+    def test_defaults_match_paper(self):
+        settings = ExperimentSettings()
+        assert settings.node_count == 16
+        assert settings.trace_seconds == 6000
+        assert (14, 10) in settings.codes
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(PlanningError):
+            ExperimentSettings(node_count=1)
+        with pytest.raises(PlanningError):
+            ExperimentSettings(trace_seconds=0)
+        with pytest.raises(PlanningError):
+            ExperimentSettings(repair_floor=-1)
+        with pytest.raises(PlanningError):
+            ExperimentSettings(codes=[(4, 6)])
+        with pytest.raises(PlanningError):
+            ExperimentSettings(node_count=8, codes=[(9, 6)])
+
+
+class TestHelpers:
+    def test_make_planner_names(self):
+        for scheme in SCHEMES:
+            assert make_planner(scheme).name == scheme
+
+    def test_make_planner_rejects_unknown(self):
+        with pytest.raises(PlanningError):
+            make_planner("magic")
+
+    def test_congested_instants_sorted_and_congested(self, small_world):
+        traces, _ = small_world
+        trace = traces["TPC-H"]
+        instants = congested_instants(trace, 5, seed=3)
+        assert instants == sorted(instants)
+        assert len(instants) == 5
+        rates = trace.used_node_bandwidth() / trace.capacity
+        for t in instants:
+            assert (rates[:, int(t)] >= 0.9).any()
+
+    def test_stripe_nodes_disjoint(self, small_world):
+        traces, _ = small_world
+        requestor, survivors = stripe_nodes_at(
+            traces["TPC-DS"], 100.0, 9, seed=4
+        )
+        assert requestor not in survivors
+        assert len(survivors) == 8
+
+    def test_cell_result_overall(self):
+        cell = CellResult(planning_seconds=1.0, transfer_seconds=2.0)
+        assert cell.overall_seconds == 3.0
+
+
+class TestRunners:
+    def test_run_cell_returns_positive_timings(self, small_world):
+        traces, networks = small_world
+        cell = run_cell(
+            traces["SWIM"], networks["SWIM"], 6, 4, "PivotRepair",
+            config=ExecutionConfig(chunk_size=1_000_000),
+            instants=2,
+        )
+        assert cell.planning_seconds > 0
+        assert cell.transfer_seconds > 0
+
+    def test_run_figure5_structure(self, small_world):
+        traces, networks = small_world
+        settings = ExperimentSettings(codes=[(6, 4)])
+        results = run_figure5(traces, networks, settings)
+        assert set(results) == set(traces)
+        for by_code in results.values():
+            assert set(by_code) == {(6, 4)}
+            assert set(by_code[(6, 4)]) == set(SCHEMES)
+
+    def test_run_figure7_structure(self, small_world):
+        traces, networks = small_world
+        settings = ExperimentSettings(codes=[(6, 4)])
+        results = run_figure7(
+            traces["TPC-DS"], networks["TPC-DS"], settings,
+            config=ExecutionConfig(chunk_size=1_000_000),
+            chunks=4,
+        )
+        row = results[(6, 4)]
+        assert set(row) == {
+            "RP", "PPT", "PivotRepair", "PivotRepair+strategy",
+        }
+        for result in row.values():
+            assert result.chunks_repaired == 4
+
+
+class TestSweeps:
+    def test_fixed_network_shape(self):
+        net = fixed_network()
+        assert len(net) == 10
+
+    def test_slice_sweep_flat(self):
+        results = run_slice_size_sweep(slice_kib=[32, 512], chunk_mib=8)
+        for scheme in SCHEMES:
+            a = results[32][scheme]
+            b = results[512][scheme]
+            assert abs(a - b) < 0.3 * max(a, b)
+
+    def test_chunk_sweep_monotone(self):
+        results = run_chunk_size_sweep(chunk_mib=[8, 32])
+        for scheme in SCHEMES:
+            assert results[32][scheme] > results[8][scheme]

@@ -1,0 +1,145 @@
+"""Tests for bandwidth traces and per-node bandwidth."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TraceError
+from repro.network.bandwidth import BandwidthTrace, NodeBandwidth
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            BandwidthTrace([], [])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            BandwidthTrace([0, 1], [5])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(TraceError):
+            BandwidthTrace([0, 0], [1, 2])
+        with pytest.raises(TraceError):
+            BandwidthTrace([1, 0], [1, 2])
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(TraceError):
+            BandwidthTrace([0], [-1])
+
+    def test_from_samples_interval(self):
+        trace = BandwidthTrace.from_samples([10, 20, 30], interval=2.0)
+        assert trace.breakpoints == [0.0, 2.0, 4.0]
+
+    def test_from_samples_rejects_bad_interval(self):
+        with pytest.raises(TraceError):
+            BandwidthTrace.from_samples([1], interval=0)
+
+
+class TestLookup:
+    def test_piecewise_values(self):
+        trace = BandwidthTrace([0, 10, 20], [100, 50, 75])
+        assert trace.value_at(0) == 100
+        assert trace.value_at(9.999) == 100
+        assert trace.value_at(10) == 50
+        assert trace.value_at(15) == 50
+        assert trace.value_at(20) == 75
+        assert trace.value_at(1e9) == 75
+
+    def test_before_first_breakpoint(self):
+        trace = BandwidthTrace([5], [42])
+        assert trace.value_at(0) == 42
+
+    def test_constant(self):
+        trace = BandwidthTrace.constant(7)
+        assert trace.value_at(0) == 7
+        assert trace.next_change_after(0) == math.inf
+
+    def test_next_change_after(self):
+        trace = BandwidthTrace([0, 10, 20], [1, 2, 3])
+        assert trace.next_change_after(-1) == 0
+        assert trace.next_change_after(0) == 10
+        assert trace.next_change_after(10) == 20
+        assert trace.next_change_after(20) == math.inf
+
+    def test_mean_time_weighted(self):
+        trace = BandwidthTrace([0, 10], [100, 0])
+        assert trace.mean(0, 20) == pytest.approx(50)
+        assert trace.mean(5, 15) == pytest.approx(50)
+
+    def test_mean_rejects_empty_interval(self):
+        with pytest.raises(TraceError):
+            BandwidthTrace.constant(1).mean(5, 5)
+
+
+class TestTransforms:
+    def test_scaled(self):
+        trace = BandwidthTrace([0, 1], [10, 20]).scaled(0.5)
+        assert trace.values == [5, 10]
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(TraceError):
+            BandwidthTrace.constant(1).scaled(-1)
+
+    def test_clipped(self):
+        trace = BandwidthTrace([0, 1, 2], [5, 50, 500]).clipped(10, 100)
+        assert trace.values == [10, 50, 100]
+
+    def test_as_array(self):
+        times, values = BandwidthTrace([0, 1], [2, 3]).as_array()
+        assert list(times) == [0, 1]
+        assert list(values) == [2, 3]
+
+
+class TestNodeBandwidth:
+    def test_theo_is_min_of_up_down(self):
+        node = NodeBandwidth(
+            BandwidthTrace([0, 10], [100, 30]),
+            BandwidthTrace([0, 5], [80, 200]),
+        )
+        assert node.theo_at(0) == 80
+        assert node.theo_at(5) == 100
+        assert node.theo_at(10) == 30
+
+    def test_next_change_merges_links(self):
+        node = NodeBandwidth(
+            BandwidthTrace([0, 10], [1, 2]), BandwidthTrace([0, 4], [1, 2])
+        )
+        assert node.next_change_after(0) == 4
+        assert node.next_change_after(4) == 10
+
+    def test_constant_helper(self):
+        node = NodeBandwidth.constant(5, 9)
+        assert node.up_at(123) == 5
+        assert node.down_at(123) == 9
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e9, allow_nan=False),
+            min_size=1,
+            max_size=20,
+        ),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    def test_value_at_matches_sample(self, values, query):
+        trace = BandwidthTrace.from_samples(values, interval=1.0)
+        index = min(int(query), len(values) - 1)
+        assert trace.value_at(query) == values[index]
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_mean_bounded_by_extremes(self, values):
+        trace = BandwidthTrace.from_samples(values)
+        mean = trace.mean(0, len(values))
+        assert min(values) - 1e-6 <= mean <= max(values) + 1e-6

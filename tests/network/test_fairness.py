@@ -1,0 +1,162 @@
+"""Tests for max-min fair allocation of coupled tasks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SimulationError
+from repro.network.fairness import (
+    allocate_edge_tasks,
+    max_min_allocate,
+    usage_from_edges,
+)
+
+
+class TestUsageFromEdges:
+    def test_single_edge(self):
+        usage = usage_from_edges([(0, 1)])
+        assert usage == {("up", 0): 1.0, ("down", 1): 1.0}
+
+    def test_fanin_counts_downlink_twice(self):
+        # Two children sending to one parent: parent downlink coefficient 2,
+        # exactly the halving effect of Figure 1(d).
+        usage = usage_from_edges([(1, 0), (2, 0)])
+        assert usage[("down", 0)] == 2.0
+        assert usage[("up", 1)] == 1.0
+        assert usage[("up", 2)] == 1.0
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(SimulationError):
+            usage_from_edges([(3, 3)])
+
+
+class TestMaxMin:
+    def test_single_task_single_link(self):
+        rates = allocate_edge_tasks([[(0, 1)]], {0: 100, 1: 100}, {0: 100, 1: 100})
+        assert rates == [100]
+
+    def test_link_bandwidth_is_min_of_up_down(self):
+        rates = allocate_edge_tasks([[(0, 1)]], {0: 30, 1: 100}, {0: 100, 1: 80})
+        assert rates == [30]
+
+    def test_two_tasks_share_fairly(self):
+        rates = allocate_edge_tasks(
+            [[(0, 1)], [(0, 2)]],
+            {0: 100, 1: 100, 2: 100},
+            {0: 100, 1: 100, 2: 100},
+        )
+        assert rates == pytest.approx([50, 50])
+
+    def test_unequal_bottlenecks(self):
+        # Task B is limited to 10 by its receiver; task A then gets the rest.
+        rates = allocate_edge_tasks(
+            [[(0, 1)], [(0, 2)]],
+            {0: 100, 1: 100, 2: 100},
+            {0: 100, 1: 100, 2: 10},
+        )
+        assert rates == pytest.approx([90, 10])
+
+    def test_pipelined_tree_common_rate(self):
+        # Chain 2 -> 1 -> 0: rate limited by the slowest stage.
+        rates = allocate_edge_tasks(
+            [[(2, 1), (1, 0)]],
+            {0: 1000, 1: 40, 2: 1000},
+            {0: 1000, 1: 1000, 2: 1000},
+        )
+        assert rates == pytest.approx([40])
+
+    def test_fanin_halves_downlink(self):
+        # Two edges into node 0 at a common rate r: 2r <= down(0).
+        rates = allocate_edge_tasks(
+            [[(1, 0), (2, 0)]],
+            {0: 1000, 1: 1000, 2: 1000},
+            {0: 100, 1: 1000, 2: 1000},
+        )
+        assert rates == pytest.approx([50])
+
+    def test_figure3_pivot_tree_rate(self):
+        """The paper's Figure 3(c) tree achieves B_min = 450 Mb/s."""
+        up = {2: 750, 3: 500, 4: 150, 5: 500, 6: 500, 0: 980}
+        down = {2: 100, 3: 130, 4: 1000, 5: 200, 6: 900, 0: 980}
+        # Final tree from Figure 4: R(0) <- {N6, N2}; N6 <- {N5, N3}.
+        edges = [(6, 0), (2, 0), (5, 6), (3, 6)]
+        rates = allocate_edge_tasks([edges], up, down)
+        assert rates == pytest.approx([450])
+
+    def test_zero_capacity_freezes_task(self):
+        rates = allocate_edge_tasks(
+            [[(0, 1)], [(2, 3)]],
+            {0: 0, 1: 1, 2: 50, 3: 1},
+            {0: 1, 1: 100, 2: 1, 3: 50},
+        )
+        assert rates == pytest.approx([0, 50])
+
+    def test_empty_usage_task_gets_zero(self):
+        rates = max_min_allocate([{}], {})
+        assert rates == [0.0]
+
+    def test_negative_coefficient_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_allocate([{("up", 0): -1.0}], {("up", 0): 5.0})
+
+    def test_three_way_contention_on_one_uplink(self):
+        rates = allocate_edge_tasks(
+            [[(0, 1)], [(0, 2)], [(0, 3)]],
+            {0: 90, 1: 100, 2: 100, 3: 100},
+            {i: 100 for i in range(4)},
+        )
+        assert rates == pytest.approx([30, 30, 30])
+
+    def test_maxmin_dominates_frozen_tasks(self):
+        # After the 10-limited task freezes, the other two split node 0's 90.
+        rates = allocate_edge_tasks(
+            [[(0, 1)], [(0, 2)], [(0, 3)]],
+            {0: 90, 1: 100, 2: 100, 3: 100},
+            {1: 100, 2: 100, 3: 10, 0: 100},
+        )
+        assert sorted(rates) == pytest.approx([10, 40, 40])
+
+
+class TestMaxMinProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=5),
+                    st.integers(min_value=0, max_value=5),
+                ).filter(lambda e: e[0] != e[1]),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_allocation_is_feasible(self, task_edges, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        up = {i: float(rng.integers(1, 1000)) for i in range(6)}
+        down = {i: float(rng.integers(1, 1000)) for i in range(6)}
+        rates = allocate_edge_tasks(task_edges, up, down)
+        assert all(r >= 0 for r in rates)
+        # No resource is overcommitted.
+        load_up = {i: 0.0 for i in range(6)}
+        load_down = {i: 0.0 for i in range(6)}
+        for edges, rate in zip(task_edges, rates):
+            for src, dst in edges:
+                load_up[src] += rate
+                load_down[dst] += rate
+        for i in range(6):
+            assert load_up[i] <= up[i] + 1e-6
+            assert load_down[i] <= down[i] + 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=6))
+    def test_identical_tasks_get_identical_rates(self, count):
+        rates = allocate_edge_tasks(
+            [[(0, 1)]] * count, {0: 120, 1: 120}, {0: 120, 1: 120}
+        )
+        assert rates == pytest.approx([120 / count] * count)

@@ -1,0 +1,135 @@
+"""Property-based tests for the fluid simulator.
+
+Invariants checked on randomized workloads:
+
+* every submitted task eventually completes on a strictly positive network;
+* no task finishes faster than its bytes divided by the fastest link
+  (conservation: the simulator cannot create bandwidth);
+* a pipelined task is never faster than the same edges as independent bulk
+  flows (the common-rate coupling can only constrain);
+* adding competing load never makes an existing task finish earlier.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.simulator import FluidSimulator
+from repro.network.topology import StarNetwork
+
+NODES = 6
+
+edge = st.tuples(
+    st.integers(min_value=0, max_value=NODES - 1),
+    st.integers(min_value=0, max_value=NODES - 1),
+).filter(lambda e: e[0] != e[1])
+
+
+def network_from_seed(seed):
+    rng = np.random.default_rng(seed)
+    ups = [float(rng.integers(10, 1000)) for _ in range(NODES)]
+    downs = [float(rng.integers(10, 1000)) for _ in range(NODES)]
+    return StarNetwork.constant(ups, downs), ups, downs
+
+
+class TestCompletionAndConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.lists(
+            st.tuples(edge, st.floats(min_value=1, max_value=1e6)),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_all_bulk_tasks_complete_no_faster_than_physics(
+        self, seed, transfers
+    ):
+        network, ups, downs = network_from_seed(seed)
+        sim = FluidSimulator(network)
+        handles = [
+            sim.submit_bulk([(src, dst, size)])
+            for (src, dst), size in transfers
+        ]
+        sim.run()
+        for handle, ((src, dst), size) in zip(handles, transfers):
+            assert handle.done
+            best_rate = min(ups[src], downs[dst])
+            assert handle.duration >= size / best_rate - 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        st.lists(edge, min_size=1, max_size=5, unique=True),
+        st.floats(min_value=10, max_value=1e5),
+    )
+    def test_pipelined_no_faster_than_bulk(self, seed, edges, size):
+        network, _, _ = network_from_seed(seed)
+        pipelined_sim = FluidSimulator(network)
+        pipelined = pipelined_sim.submit_pipelined(edges, size)
+        pipelined_sim.run()
+        bulk_sim = FluidSimulator(network)
+        bulk = bulk_sim.submit_bulk([(s, d, size) for s, d in edges])
+        bulk_sim.run()
+        assert pipelined.duration >= bulk.duration - 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=2**31 - 1),
+        edge,
+        st.lists(edge, min_size=1, max_size=4),
+    )
+    def test_competition_never_speeds_a_task_up(
+        self, seed, target, competitors
+    ):
+        network, _, _ = network_from_seed(seed)
+        alone_sim = FluidSimulator(network)
+        alone = alone_sim.submit_bulk([(target[0], target[1], 1000.0)])
+        alone_sim.run()
+        busy_sim = FluidSimulator(network)
+        watched = busy_sim.submit_bulk([(target[0], target[1], 1000.0)])
+        for src, dst in competitors:
+            busy_sim.submit_bulk([(src, dst, 1e5)])
+        busy_sim.run()
+        assert watched.duration >= alone.duration - 1e-6
+
+
+class TestRepairedPlacementIntegration:
+    def test_cluster_placement_updated_after_repairs(self):
+        from repro.cluster import Cluster
+        from repro.core import BandwidthSnapshot, PivotRepairPlanner
+        from repro.ec import RSCode
+
+        cluster = Cluster(12, RSCode(6, 4))
+        stripe = cluster.write_random_stripes(
+            1, 64, np.random.default_rng(3)
+        )[0]
+        view = BandwidthSnapshot(
+            up={i: 100.0 for i in range(12)},
+            down={i: 100.0 for i in range(12)},
+        )
+        failed = stripe.placement[2]
+        cluster.fail_node(failed)
+        holders = set(stripe.placement)
+        spare = next(
+            n for n in range(12) if n not in holders and n != failed
+        )
+        cluster.repair_stripe(
+            PivotRepairPlanner(), view, stripe, [2], {2: spare}
+        )
+        assert stripe.placement[2] == spare
+        # A subsequent failure of the *original* node loses nothing.
+        assert stripe.chunk_on_node(failed) is None
+        # The relocated chunk participates in future repairs.
+        second_failed = stripe.placement[0]
+        cluster.fail_node(second_failed)
+        spare2 = next(
+            n
+            for n in range(12)
+            if n not in set(stripe.placement) and cluster.nodes[n].alive
+        )
+        rebuilt = cluster.repair_stripe(
+            PivotRepairPlanner(), view, stripe, [0], {0: spare2}
+        )
+        assert 0 in rebuilt

@@ -1,0 +1,130 @@
+"""Tests for single-chunk repair execution on the fluid simulator."""
+
+import pytest
+
+from repro.baselines import ConventionalPlanner, PPRPlanner, RPPlanner
+from repro.core import PivotRepairPlanner
+from repro.network.bandwidth import BandwidthTrace
+from repro.network.topology import StarNetwork
+from repro.repair.executor import execute_plan, repair_single_chunk
+from repro.repair.pipeline import ExecutionConfig
+from repro.core.bandwidth_view import BandwidthSnapshot
+
+# Figure 3/4 bandwidths in *bytes/second* for convenience (values are small
+# but only ratios matter to the fluid model).
+FIG_UP = [980, 0, 750, 500, 150, 500, 500]
+FIG_DOWN = [980, 0, 100, 130, 1000, 200, 900]
+
+
+def fig_network():
+    # Node 1 is the failed node; zero bandwidth keeps it unused.
+    return StarNetwork.constant(FIG_UP, FIG_DOWN)
+
+
+def simple_config(chunk=9000, slice_size=100, overhead=0.0):
+    return ExecutionConfig(
+        chunk_size=chunk, slice_size=slice_size, per_slice_overhead=overhead
+    )
+
+
+class TestExecutePlan:
+    def test_pivot_repair_transfer_time_matches_bmin(self):
+        config = simple_config()
+        result = repair_single_chunk(
+            PivotRepairPlanner(), fig_network(), 0, [2, 3, 4, 5, 6], 4,
+            config=config,
+        )
+        # B_min = 450; tree depth 2 -> bytes/edge = 9000 + 100.
+        assert result.bmin == pytest.approx(450)
+        assert result.transfer_seconds == pytest.approx(9100 / 450)
+        assert result.total_seconds == pytest.approx(
+            result.planning_seconds + result.transfer_seconds
+        )
+
+    def test_rp_is_slower_than_pivot_on_figure3(self):
+        config = simple_config()
+        rp = repair_single_chunk(
+            RPPlanner(), fig_network(), 0, [3, 4, 5, 6], 4, config=config
+        )
+        pivot = repair_single_chunk(
+            PivotRepairPlanner(), fig_network(), 0, [2, 3, 4, 5, 6], 4,
+            config=config,
+        )
+        assert rp.transfer_seconds > 2 * pivot.transfer_seconds
+
+    def test_conventional_bulk_transfer(self):
+        net = StarNetwork.constant([100, 100, 100], [100, 100, 100])
+        snapshot = BandwidthSnapshot.from_network(net, 0.0)
+        plan = ConventionalPlanner().plan(snapshot, 0, [1, 2], 2)
+        result = execute_plan(plan, net, config=simple_config(chunk=1000))
+        # Two 1000-byte chunks into down(0)=100 shared -> 20 s.
+        assert result.transfer_seconds == pytest.approx(20.0)
+
+    def test_ppr_rounds_are_sequential(self):
+        net = StarNetwork.uniform(5, 100.0)
+        snapshot = BandwidthSnapshot.from_network(net, 0.0)
+        plan = PPRPlanner().plan(snapshot, 0, [1, 2, 3, 4], 4)
+        result = execute_plan(plan, net, config=simple_config(chunk=1000))
+        # Rounds: {2->1, 4->3} (10 s), {3->1} (10 s), {1->0} (10 s).
+        assert result.transfer_seconds == pytest.approx(30.0)
+
+    def test_overhead_added_to_pipelined_transfers(self):
+        config = simple_config(overhead=0.01)  # 90 slices -> 0.9 s
+        result = repair_single_chunk(
+            PivotRepairPlanner(), fig_network(), 0, [2, 3, 4, 5, 6], 4,
+            config=config,
+        )
+        base = 9100 / 450
+        assert result.transfer_seconds == pytest.approx(base + 0.9)
+
+    def test_bandwidth_change_during_transfer(self):
+        # Uplink halves mid-transfer; the repair slows down accordingly.
+        up = [BandwidthTrace([0, 10], [100, 50]), BandwidthTrace.constant(1000)]
+        down = [BandwidthTrace.constant(1000), BandwidthTrace.constant(1000)]
+        net = StarNetwork.from_traces(up, down)
+        result = repair_single_chunk(
+            RPPlanner(), net, 1, [0], 1,
+            config=simple_config(chunk=1500, slice_size=1500),
+        )
+        # 10 s at 100 B/s, then 500 bytes at 50 B/s.
+        assert result.transfer_seconds == pytest.approx(20.0)
+
+    def test_planning_time_positive_and_recorded(self):
+        result = repair_single_chunk(
+            PivotRepairPlanner(), fig_network(), 0, [2, 3, 4, 5, 6], 4,
+            config=simple_config(),
+        )
+        assert result.planning_seconds > 0
+        assert result.scheme == "PivotRepair"
+        assert result.plan is not None
+
+
+class TestMetrics:
+    def test_repair_result_total(self):
+        from repro.repair.metrics import RepairResult
+
+        result = RepairResult(
+            scheme="X", planning_seconds=1.0, transfer_seconds=2.0, bmin=5.0
+        )
+        assert result.total_seconds == 3.0
+
+    def test_full_node_result_aggregates(self):
+        from repro.repair.metrics import FullNodeResult, RepairResult
+
+        tasks = [
+            RepairResult("X", 0.0, 2.0, 1.0),
+            RepairResult("X", 0.0, 4.0, 1.0),
+        ]
+        result = FullNodeResult(
+            scheme="X", failed_node=3, total_seconds=10.0, task_results=tasks
+        )
+        assert result.chunks_repaired == 2
+        assert result.mean_task_seconds == pytest.approx(3.0)
+        assert result.repair_rate_chunks_per_second() == pytest.approx(0.2)
+
+    def test_empty_full_node_result(self):
+        from repro.repair.metrics import FullNodeResult
+
+        result = FullNodeResult("X", 0, 0.0)
+        assert result.mean_task_seconds == 0.0
+        assert result.repair_rate_chunks_per_second() == 0.0

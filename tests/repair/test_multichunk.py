@@ -1,0 +1,96 @@
+"""Tests for multi-chunk (conventional fallback) repair planning/timing."""
+
+import pytest
+
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.exceptions import PlanningError
+from repro.network.topology import StarNetwork
+from repro.repair.multichunk import (
+    MultiChunkPlan,
+    execute_multi_chunk,
+    plan_multi_chunk,
+)
+from repro.repair.pipeline import ExecutionConfig
+
+
+def snapshot(count=8, up=100.0, down=100.0):
+    return BandwidthSnapshot(
+        up={i: up for i in range(count)}, down={i: down for i in range(count)}
+    )
+
+
+class TestPlanValidation:
+    def test_needs_helpers(self):
+        with pytest.raises(PlanningError):
+            MultiChunkPlan(requestor=0, helpers=[], placements={1: 2})
+
+    def test_duplicate_helpers_rejected(self):
+        with pytest.raises(PlanningError):
+            MultiChunkPlan(0, [1, 1], {0: 2})
+
+    def test_requestor_cannot_help(self):
+        with pytest.raises(PlanningError):
+            MultiChunkPlan(0, [0, 1], {0: 2})
+
+    def test_needs_lost_chunks(self):
+        with pytest.raises(PlanningError):
+            MultiChunkPlan(0, [1, 2], {})
+
+    def test_edges(self):
+        plan = MultiChunkPlan(0, [1, 2], {3: 5, 4: 0})
+        assert plan.download_edges == [(1, 0), (2, 0)]
+        # The chunk hosted by the requestor itself needs no upload.
+        assert plan.upload_edges == [(0, 5)]
+
+
+class TestPlanning:
+    def test_prefers_strong_uplinks(self):
+        view = BandwidthSnapshot(
+            up={0: 100, 1: 10, 2: 90, 3: 80, 4: 20},
+            down={i: 100 for i in range(5)},
+        )
+        plan = plan_multi_chunk(view, 0, [1, 2, 3, 4], 2, {5: 0, 6: 0})
+        assert plan.helpers == [2, 3]
+
+    def test_too_few_candidates_rejected(self):
+        with pytest.raises(PlanningError):
+            plan_multi_chunk(snapshot(), 0, [1], 2, {5: 0})
+
+
+class TestExecution:
+    def test_download_then_upload_timing(self):
+        net = StarNetwork.uniform(6, 100.0)
+        plan = MultiChunkPlan(0, [1, 2], {3: 4, 5: 0})
+        config = ExecutionConfig(chunk_size=1000, slice_size=100)
+        result = execute_multi_chunk(
+            plan, net, config=config, decode_rate=1e12
+        )
+        # Download: 2 x 1000 bytes into down(0)=100 -> 20 s.
+        # Upload: one rebuilt chunk to node 4 -> 10 s more.
+        assert result.transfer_seconds == pytest.approx(30.0, abs=0.01)
+        assert result.scheme == "Conventional-multi"
+
+    def test_decode_time_added(self):
+        net = StarNetwork.uniform(6, 100.0)
+        plan = MultiChunkPlan(0, [1, 2], {3: 0})
+        config = ExecutionConfig(chunk_size=1000, slice_size=100)
+        slow = execute_multi_chunk(plan, net, config=config, decode_rate=100)
+        fast = execute_multi_chunk(plan, net, config=config, decode_rate=1e12)
+        assert slow.transfer_seconds - fast.transfer_seconds == pytest.approx(
+            10.0, abs=0.01
+        )
+
+    def test_bad_decode_rate_rejected(self):
+        net = StarNetwork.uniform(3, 100.0)
+        plan = MultiChunkPlan(0, [1, 2], {3: 0})
+        with pytest.raises(PlanningError):
+            execute_multi_chunk(plan, net, decode_rate=0)
+
+    def test_no_upload_when_requestor_hosts_everything(self):
+        net = StarNetwork.uniform(3, 100.0)
+        plan = MultiChunkPlan(0, [1, 2], {3: 0, 4: 0})
+        config = ExecutionConfig(chunk_size=1000, slice_size=100)
+        result = execute_multi_chunk(
+            plan, net, config=config, decode_rate=1e12
+        )
+        assert result.transfer_seconds == pytest.approx(20.0, abs=0.01)

@@ -1,0 +1,71 @@
+"""Tests for the pipelined execution model."""
+
+import pytest
+
+from repro.exceptions import PlanningError
+from repro.repair.pipeline import (
+    ExecutionConfig,
+    ideal_transfer_seconds,
+    pipeline_bytes_per_edge,
+    pipeline_overhead_seconds,
+)
+from repro.units import kib, mib
+
+
+class TestExecutionConfig:
+    def test_defaults_match_paper(self):
+        config = ExecutionConfig()
+        assert config.chunk_size == mib(64)
+        assert config.slice_size == kib(32)
+
+    def test_slice_count(self):
+        config = ExecutionConfig(chunk_size=mib(64), slice_size=kib(32))
+        assert config.slices == 2048
+
+    def test_slice_larger_than_chunk_is_clamped(self):
+        config = ExecutionConfig(chunk_size=100, slice_size=1000)
+        assert config.slice_size == 100
+        assert config.slices == 1
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(PlanningError):
+            ExecutionConfig(chunk_size=0)
+        with pytest.raises(PlanningError):
+            ExecutionConfig(slice_size=0)
+        with pytest.raises(PlanningError):
+            ExecutionConfig(per_slice_overhead=-1)
+
+
+class TestPipelineModel:
+    def test_fill_grows_with_depth(self):
+        config = ExecutionConfig(chunk_size=1000, slice_size=10)
+        assert pipeline_bytes_per_edge(config, 1) == 1000
+        assert pipeline_bytes_per_edge(config, 3) == 1020
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(PlanningError):
+            pipeline_bytes_per_edge(ExecutionConfig(), 0)
+
+    def test_overhead_scales_with_slice_count(self):
+        config = ExecutionConfig(
+            chunk_size=1000, slice_size=10, per_slice_overhead=0.001
+        )
+        assert pipeline_overhead_seconds(config) == pytest.approx(0.1)
+
+    def test_ideal_transfer_time(self):
+        config = ExecutionConfig(
+            chunk_size=1000, slice_size=10, per_slice_overhead=0.0
+        )
+        assert ideal_transfer_seconds(config, 1, 100.0) == pytest.approx(10.0)
+        # Depth 3 adds 2 slices of fill.
+        assert ideal_transfer_seconds(config, 3, 100.0) == pytest.approx(10.2)
+
+    def test_ideal_transfer_rejects_zero_bandwidth(self):
+        with pytest.raises(PlanningError):
+            ideal_transfer_seconds(ExecutionConfig(), 1, 0.0)
+
+    def test_fill_negligible_at_paper_scale(self):
+        # 64 MiB chunk, 32 KiB slices, depth 10: fill < 0.5 % of the chunk.
+        config = ExecutionConfig()
+        fill = pipeline_bytes_per_edge(config, 10) - config.chunk_size
+        assert fill / config.chunk_size < 0.005

@@ -1,0 +1,156 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.traces import WorkloadTrace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.npz"
+    code = main(
+        [
+            "trace", "generate", "--workload", "TPC-H", "--nodes", "12",
+            "--duration", "300", "--seed", "5", "--out", str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture
+def bandwidth_file(tmp_path):
+    path = tmp_path / "bw.json"
+    # Figure 4's bandwidths in Mb/s-scaled bytes/second.
+    up = {0: 980, 2: 750, 3: 500, 4: 150, 5: 500, 6: 500}
+    down = {0: 980, 2: 100, 3: 130, 4: 1000, 5: 200, 6: 900}
+    path.write_text(
+        json.dumps(
+            {
+                "up": {str(n): v * 125_000 for n, v in up.items()},
+                "down": {str(n): v * 125_000 for n, v in down.items()},
+            }
+        )
+    )
+    return path
+
+
+class TestTraceCommands:
+    def test_generate_writes_loadable_trace(self, trace_file):
+        trace = WorkloadTrace.load(trace_file)
+        assert trace.name == "TPC-H"
+        assert trace.node_count == 12
+        assert trace.sample_count == 300
+
+    def test_analyze_json(self, trace_file, capsys):
+        code = main(["--json", "trace", "analyze", str(trace_file)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "TPC-H"
+        assert 0 <= payload["congested_fraction"] <= 1
+        assert "90%" in payload["cv_gt_0.5_given_congestion"]
+
+    def test_analyze_text(self, trace_file, capsys):
+        code = main(["trace", "analyze", str(trace_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "congested_fraction" in out
+
+    def test_missing_trace_errors(self, tmp_path, capsys):
+        code = main(["trace", "analyze", str(tmp_path / "nope.npz")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    def test_pivot_plan_reproduces_figure4(self, bandwidth_file, capsys):
+        code = main(
+            [
+                "--json", "plan", "--bandwidths", str(bandwidth_file),
+                "--requestor", "0", "--k", "4",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bmin_mbps"] == pytest.approx(450, abs=1)
+        assert sorted(payload["helpers"]) == [2, 3, 5, 6]
+
+    def test_text_output_renders_tree(self, bandwidth_file, capsys):
+        code = main(
+            [
+                "plan", "--bandwidths", str(bandwidth_file),
+                "--requestor", "0", "--k", "4", "--scheme", "rp",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheme: RP" in out
+        assert "requestor" in out
+
+    def test_malformed_bandwidths_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"up": {"x": "y"}}')
+        code = main(
+            ["plan", "--bandwidths", str(path), "--requestor", "0", "--k", "2"]
+        )
+        assert code == 1
+        assert "malformed" in capsys.readouterr().err
+
+
+class TestRepairCommand:
+    def test_repair_compares_schemes(self, trace_file, capsys):
+        code = main(
+            [
+                "--json", "repair", str(trace_file), "--n", "6", "--k", "4",
+                "--chunk-mib", "4",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["schemes"]) == {"pivot", "rp", "ppt"}
+        for values in payload["schemes"].values():
+            assert values["total_seconds"] > 0
+
+    def test_repair_text_table(self, trace_file, capsys):
+        code = main(
+            ["repair", str(trace_file), "--n", "6", "--k", "4",
+             "--chunk-mib", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheme" in out and "transfer" in out
+
+
+class TestFullnodeCommand:
+    def test_fullnode_runs_both_schemes(self, trace_file, capsys):
+        code = main(
+            [
+                "--json", "fullnode", str(trace_file), "--n", "6", "--k",
+                "4", "--stripes", "6", "--chunk-mib", "4", "--adaptive",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["schemes"]) == {"rp", "pivot", "pivot+strategy"}
+        assert payload["chunks"] >= 1
+
+
+class TestExperimentCommand:
+    def test_table1_json(self, capsys):
+        code = main(
+            ["experiment", "table1", "--duration", "600", "--seed", "1"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "table1"
+        assert set(payload["rows"]) == {"TPC-DS", "TPC-H", "SWIM"}
+
+    def test_fig6a_json(self, capsys):
+        code = main(["experiment", "fig6a"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["unit"] == "KiB"
+        assert "32" in payload["rows"]

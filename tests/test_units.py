@@ -1,0 +1,38 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro import units
+
+
+class TestBandwidth:
+    def test_mbps_round_trip(self):
+        assert units.to_mbps(units.mbps(250)) == pytest.approx(250)
+
+    def test_one_mbps_in_bytes(self):
+        assert units.mbps(1) == 125_000
+
+    def test_gbps(self):
+        assert units.gbps(1) == 1_000_000_000 / 8
+        assert units.gbps(1) == units.mbps(1000)
+
+
+class TestSizes:
+    def test_mib(self):
+        assert units.mib(1) == 1024 * 1024
+        assert units.mib(64) == 64 * 1024 * 1024
+
+    def test_kib(self):
+        assert units.kib(32) == 32 * 1024
+
+    def test_fractional_sizes_truncate_to_bytes(self):
+        assert units.mib(0.5) == 512 * 1024
+        assert isinstance(units.mib(0.5), int)
+
+    def test_constants(self):
+        assert units.GIB == 1024 * units.MIB == 1024 * 1024 * units.KIB
+
+    def test_paper_chunk_transfer_math(self):
+        # 64 MiB at 450 Mb/s ~ 1.19 s (the Figure 4 optimum).
+        seconds = units.mib(64) / units.mbps(450)
+        assert seconds == pytest.approx(1.19, abs=0.01)

@@ -1,0 +1,173 @@
+"""Tests for workload generators and measurement analysis (§III-A).
+
+The calibration tests check the *reported* statistical properties: the
+orderings and bands of Table I and the existence of pivots under congestion
+(Observation 2).  Bands are deliberately loose — the generators are
+stochastic — but tight enough that a regression in the model shows up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.traces import (
+    PROFILES,
+    SWIM,
+    TPC_DS,
+    TPC_H,
+    WorkloadProfile,
+    congested_seconds,
+    congestion_episode_stats,
+    cv_per_second,
+    fig2_series,
+    generate_all,
+    generate_trace,
+    heterogeneous_congestion_fraction,
+    pivot_availability,
+    table1,
+    usage_rates,
+)
+from repro.traces.workload import WorkloadTrace
+
+
+@pytest.fixture(scope="module")
+def traces():
+    # Shorter traces than the paper's 6000 s keep the suite fast while the
+    # statistics stay stable.
+    return generate_all(duration=3000, seed=7)
+
+
+class TestProfileValidation:
+    def test_bad_rates_rejected(self):
+        with pytest.raises(TraceError):
+            WorkloadProfile(
+                "x", -1, 1, 0.1, 0.2, 0.01, 0.5, 1, 1, 1, 1, 0.1, 0.2
+            )
+
+    def test_bad_wave_cap_rejected(self):
+        with pytest.raises(TraceError):
+            WorkloadProfile(
+                "x", 1, 1, 0.1, 0.8, 0.01, 0.5, 1, 1, 1, 1, 0.1, 0.2
+            )
+
+
+class TestGeneration:
+    def test_shapes_and_bounds(self, traces):
+        for trace in traces.values():
+            assert trace.node_count == 16
+            assert trace.sample_count == 3000
+            assert (trace.used_up >= 0).all()
+            assert (trace.used_up <= trace.capacity).all()
+            assert (trace.used_down <= trace.capacity).all()
+
+    def test_deterministic_given_seed(self):
+        a = generate_trace(TPC_DS, duration=200, seed=3)
+        b = generate_trace(TPC_DS, duration=200, seed=3)
+        np.testing.assert_array_equal(a.used_up, b.used_up)
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(TPC_DS, duration=500, seed=3)
+        b = generate_trace(TPC_DS, duration=500, seed=4)
+        assert not np.array_equal(a.used_up, b.used_up)
+
+    def test_rejects_tiny_cluster(self):
+        with pytest.raises(TraceError):
+            generate_trace(SWIM, node_count=0, duration=10)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(TraceError):
+            generate_trace(SWIM, duration=0)
+
+    def test_profiles_registry(self):
+        assert set(PROFILES) == {"TPC-DS", "TPC-H", "SWIM"}
+        assert PROFILES["TPC-H"] is TPC_H
+
+
+class TestObservation1:
+    """Congestion is frequent and the congested set changes rapidly."""
+
+    def test_congestion_is_frequent(self, traces):
+        # SWIM is wave-dominated and its waves top out below the 90% usage
+        # threshold, so its congested fraction is the smallest of the three.
+        for trace in traces.values():
+            stats = congestion_episode_stats(trace, threshold=0.9)
+            assert stats["congested_fraction"] > 0.08
+
+    def test_every_node_congests_at_some_point(self, traces):
+        for trace in traces.values():
+            rates = usage_rates(trace)
+            assert ((rates >= 0.9).any(axis=1)).all(), trace.name
+
+    def test_congested_set_changes(self, traces):
+        for trace in traces.values():
+            stats = congestion_episode_stats(trace, threshold=0.9)
+            assert stats["congested_set_change_rate"] > 0.02
+
+    def test_no_congestion_edge_case(self):
+        quiet = WorkloadTrace(
+            "quiet", 100.0, np.ones((4, 50)), np.ones((4, 50))
+        )
+        stats = congestion_episode_stats(quiet, threshold=0.9)
+        assert stats["congested_fraction"] == 0.0
+        assert stats["episodes"] == 0.0
+
+
+class TestObservation2AndTable1:
+    """Heterogeneity under congestion, ordered and banded as in Table I."""
+
+    def test_ordering_tpch_above_tpcds_above_swim(self, traces):
+        for threshold in (0.90, 0.95, 1.00):
+            tpch = heterogeneous_congestion_fraction(
+                traces["TPC-H"], threshold
+            )
+            tpcds = heterogeneous_congestion_fraction(
+                traces["TPC-DS"], threshold
+            )
+            swim = heterogeneous_congestion_fraction(
+                traces["SWIM"], threshold
+            )
+            assert tpch > tpcds > swim
+
+    def test_bands_roughly_match_paper(self, traces):
+        # Paper: TPC-DS 37-40 %, TPC-H 58-67 %, SWIM 24-30 %.
+        bands = {"TPC-DS": (0.25, 0.50), "TPC-H": (0.48, 0.78), "SWIM": (0.12, 0.40)}
+        for name, (low, high) in bands.items():
+            value = heterogeneous_congestion_fraction(traces[name], 0.95)
+            assert low <= value <= high, (name, value)
+
+    def test_table1_structure(self, traces):
+        rows = table1(traces)
+        assert {row.workload for row in rows} == set(traces)
+        for row in rows:
+            assert set(row.by_threshold) == {0.90, 0.95, 1.00}
+            for threshold in row.by_threshold:
+                assert 0.0 <= row.percent(threshold) <= 100.0
+
+    def test_pivots_exist_under_congestion(self, traces):
+        # Observation 2: during congestion some nodes keep ample bandwidth.
+        for trace in traces.values():
+            assert pivot_availability(trace) >= 1.0, trace.name
+
+    def test_cv_zero_when_idle(self):
+        quiet = WorkloadTrace(
+            "quiet", 100.0, np.zeros((4, 10)), np.zeros((4, 10))
+        )
+        np.testing.assert_array_equal(cv_per_second(quiet), np.zeros(10))
+
+    def test_bad_threshold_rejected(self, traces):
+        with pytest.raises(TraceError):
+            congested_seconds(traces["SWIM"], 0.0)
+        with pytest.raises(TraceError):
+            congested_seconds(traces["SWIM"], 1.5)
+
+
+class TestFig2:
+    def test_series_shape(self, traces):
+        series = fig2_series(traces["TPC-DS"])
+        assert series.shape == (16, 3000)
+
+    def test_series_is_used_node_bandwidth(self, traces):
+        trace = traces["SWIM"]
+        np.testing.assert_array_equal(
+            fig2_series(trace), trace.used_node_bandwidth()
+        )
