@@ -12,8 +12,11 @@ Hot Storage" (ICDCS 2022) as a pure-Python library:
   and the adaptive full-node scheduling strategy;
 * :mod:`repro.baselines` — RP, PPT, PPR, and conventional repair;
 * :mod:`repro.repair` — executing plans, timing, full-node orchestration;
-* :mod:`repro.cluster` — byte-accurate Master/DataNode repair.
+* :mod:`repro.cluster` — byte-accurate Master/DataNode repair;
+* :mod:`repro.obs` — structured event tracing, metrics, trace export.
 """
+
+import logging
 
 from repro.baselines import (
     ConventionalPlanner,
@@ -37,6 +40,7 @@ from repro.core import (
 )
 from repro.ec import RSCode, Stripe
 from repro.network import BandwidthTrace, FluidSimulator, RackNetwork, StarNetwork
+from repro.obs import MetricsRegistry, Tracer, write_trace
 from repro.repair import (
     ExecutionConfig,
     FullNodeResult,
@@ -49,6 +53,10 @@ from repro.traces import WorkloadTrace, generate_all, generate_trace
 
 __version__ = "0.1.0"
 
+# Library etiquette: never emit log records unless the application opts
+# in (attaching a real handler); avoids "no handlers could be found".
+logging.getLogger(__name__).addHandler(logging.NullHandler())
+
 __all__ = [
     "BandwidthSnapshot",
     "BandwidthTrace",
@@ -60,6 +68,7 @@ __all__ = [
     "ExecutionConfig",
     "FluidSimulator",
     "FullNodeResult",
+    "MetricsRegistry",
     "PPRPlanner",
     "PPTPlanner",
     "PivotRepairPlanner",
@@ -75,6 +84,7 @@ __all__ = [
     "SchedulerConfig",
     "StarNetwork",
     "Stripe",
+    "Tracer",
     "WorkloadTrace",
     "build_pivot_tree",
     "generate_all",
@@ -82,4 +92,5 @@ __all__ = [
     "repair_full_node",
     "repair_full_node_adaptive",
     "repair_single_chunk",
+    "write_trace",
 ]

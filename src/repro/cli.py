@@ -14,29 +14,41 @@ workflow:
   (``table1``, ``fig5``, ``fig6a``, ``fig6b``, ``fig7``).
 
 Every command supports ``--json`` for machine-readable output.
+Observability switches work on every simulation command: ``--trace
+out.jsonl`` (``--trace-format chrome`` for ``chrome://tracing`` /
+Perfetto), ``--metrics`` to include the telemetry snapshot, ``--timeline``
+for an ASCII timeline, and ``-v``/``-vv`` for stdlib logging.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from pathlib import Path
 
 import numpy as np
 
+import repro
 from repro.baselines import PPTPlanner, RPPlanner
 from repro.core import BandwidthSnapshot, PivotRepairPlanner
 from repro.core.scheduler import SchedulerConfig
 from repro.ec import RSCode, place_stripes
 from repro.exceptions import ReproError
+from repro.obs import NULL_TRACER, Tracer, write_trace
 from repro.repair import (
     ExecutionConfig,
     repair_full_node,
     repair_full_node_adaptive,
     repair_single_chunk,
 )
-from repro.reporting import format_mbps, format_seconds, format_table
+from repro.reporting import (
+    format_mbps,
+    format_seconds,
+    format_table,
+    render_timeline,
+)
 from repro.traces import (
     PROFILES,
     WorkloadTrace,
@@ -62,6 +74,29 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json", action="store_true", help="emit JSON instead of tables"
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log to stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="write the structured event trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--trace-format", choices=("jsonl", "chrome"), default="jsonl",
+        help="trace file format: JSONL events or Chrome trace_event JSON",
+    )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="include the telemetry snapshot (counters/gauges/histograms)",
+    )
+    parser.add_argument(
+        "--timeline", action="store_true",
+        help="print an ASCII timeline of the traced run",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     trace = commands.add_parser("trace", help="workload traces")
@@ -77,7 +112,7 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--out", type=Path, required=True)
 
     analyze = trace_commands.add_parser("analyze")
-    analyze.add_argument("trace", type=Path)
+    analyze.add_argument("trace_file", metavar="trace", type=Path)
 
     plan = commands.add_parser("plan", help="plan one single-chunk repair")
     plan.add_argument(
@@ -95,7 +130,7 @@ def _build_parser() -> argparse.ArgumentParser:
     repair = commands.add_parser(
         "repair", help="simulate a single-chunk repair on a trace"
     )
-    repair.add_argument("trace", type=Path)
+    repair.add_argument("trace_file", metavar="trace", type=Path)
     repair.add_argument("--n", type=int, default=9)
     repair.add_argument("--k", type=int, default=6)
     repair.add_argument("--instant", type=float, default=None)
@@ -106,7 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
     fullnode = commands.add_parser(
         "fullnode", help="simulate a full-node repair on a trace"
     )
-    fullnode.add_argument("trace", type=Path)
+    fullnode.add_argument("trace_file", metavar="trace", type=Path)
     fullnode.add_argument("--n", type=int, default=6)
     fullnode.add_argument("--k", type=int, default=4)
     fullnode.add_argument("--stripes", type=int, default=16)
@@ -156,7 +191,7 @@ def _cmd_trace_generate(args) -> dict:
 
 
 def _cmd_trace_analyze(args) -> dict:
-    trace = WorkloadTrace.load(args.trace)
+    trace = WorkloadTrace.load(args.trace_file)
     stats = congestion_episode_stats(trace, 0.9)
     return {
         "name": trace.name,
@@ -178,7 +213,7 @@ def _cmd_trace_analyze(args) -> dict:
     }
 
 
-def _cmd_plan(args) -> dict:
+def _cmd_plan(args, tracer=NULL_TRACER) -> dict:
     payload = json.loads(args.bandwidths.read_text())
     try:
         up = {int(node): float(v) for node, v in payload["up"].items()}
@@ -188,7 +223,8 @@ def _cmd_plan(args) -> dict:
     snapshot = BandwidthSnapshot(up=up, down=down)
     candidates = [n for n in sorted(up) if n != args.requestor]
     planner = SCHEME_FACTORIES[args.scheme]()
-    plan = planner.plan(snapshot, args.requestor, candidates, args.k)
+    with planner.traced(tracer):
+        plan = planner.plan(snapshot, args.requestor, candidates, args.k)
     return {
         "scheme": plan.scheme,
         "requestor": plan.requestor,
@@ -216,8 +252,8 @@ def _repair_endpoints(trace, instant, n, seed):
     return requestor, survivors
 
 
-def _cmd_repair(args) -> dict:
-    trace = WorkloadTrace.load(args.trace)
+def _cmd_repair(args, tracer=NULL_TRACER) -> dict:
+    trace = WorkloadTrace.load(args.trace_file)
     network = trace.to_network(floor=1e6)
     if args.instant is None:
         rates = trace.used_node_bandwidth() / trace.capacity
@@ -234,14 +270,17 @@ def _cmd_repair(args) -> dict:
     for name, factory in SCHEME_FACTORIES.items():
         result = repair_single_chunk(
             factory(), network, requestor, survivors, args.k,
-            start_time=instant, config=config,
+            start_time=instant, config=config, tracer=tracer,
         )
         results[name] = {
             "planning_seconds": result.planning_seconds,
             "transfer_seconds": round(result.transfer_seconds, 3),
             "total_seconds": round(result.total_seconds, 3),
             "bmin_mbps": round(to_mbps(result.bmin), 1),
+            "bytes_transferred": result.bytes_transferred,
         }
+        if args.metrics:
+            results[name]["telemetry"] = result.telemetry
     return {
         "trace": trace.name,
         "instant": instant,
@@ -252,8 +291,8 @@ def _cmd_repair(args) -> dict:
     }
 
 
-def _cmd_fullnode(args) -> dict:
-    trace = WorkloadTrace.load(args.trace)
+def _cmd_fullnode(args, tracer=NULL_TRACER) -> dict:
+    trace = WorkloadTrace.load(args.trace_file)
     network = trace.to_network(floor=1e6)
     code = RSCode(args.n, args.k)
     rng = np.random.default_rng(args.seed)
@@ -265,33 +304,37 @@ def _cmd_fullnode(args) -> dict:
     runs = {
         "rp": repair_full_node(
             RPPlanner(), network, stripes, failed,
-            concurrency=args.concurrency, config=config,
+            concurrency=args.concurrency, config=config, tracer=tracer,
         ),
         "pivot": repair_full_node(
             PivotRepairPlanner(), network, stripes, failed,
-            concurrency=args.concurrency, config=config,
+            concurrency=args.concurrency, config=config, tracer=tracer,
         ),
     }
     if args.adaptive:
         runs["pivot+strategy"] = repair_full_node_adaptive(
             PivotRepairPlanner(), network, stripes, failed,
             scheduler=SchedulerConfig(threshold=10.0), config=config,
+            tracer=tracer,
         )
+    schemes = {}
+    for name, result in runs.items():
+        schemes[name] = {
+            "total_seconds": round(result.total_seconds, 2),
+            "mean_task_seconds": round(result.mean_task_seconds, 2),
+            "bytes_transferred": result.bytes_transferred,
+        }
+        if args.metrics:
+            schemes[name]["telemetry"] = result.telemetry
     return {
         "trace": trace.name,
         "failed_node": failed,
         "chunks": runs["rp"].chunks_repaired,
-        "schemes": {
-            name: {
-                "total_seconds": round(result.total_seconds, 2),
-                "mean_task_seconds": round(result.mean_task_seconds, 2),
-            }
-            for name, result in runs.items()
-        },
+        "schemes": schemes,
     }
 
 
-def _cmd_experiment(args) -> dict:
+def _cmd_experiment(args, tracer=NULL_TRACER) -> dict:
     from repro.experiments import run_figure5
     from repro.experiments.fullnode_experiment import run_figure7
     from repro.experiments.sweeps import (
@@ -331,7 +374,7 @@ def _cmd_experiment(args) -> dict:
         name: trace.to_network(floor=1e6) for name, trace in traces.items()
     }
     if args.name == "fig5":
-        results = run_figure5(traces, networks)
+        results = run_figure5(traces, networks, tracer=tracer)
         return {
             "experiment": "fig5",
             "rows": {
@@ -350,7 +393,8 @@ def _cmd_experiment(args) -> dict:
             },
         }
     results = run_figure7(
-        traces["TPC-DS"], networks["TPC-DS"], chunks=args.chunks
+        traces["TPC-DS"], networks["TPC-DS"], chunks=args.chunks,
+        tracer=tracer,
     )
     return {
         "experiment": "fig7",
@@ -368,6 +412,20 @@ def _cmd_experiment(args) -> dict:
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
+def _metrics_block(args, payload: dict) -> str:
+    """Telemetry appendix for text output when ``--metrics`` is on."""
+    if not args.metrics:
+        return ""
+    telemetry = {
+        name: values.get("telemetry")
+        for name, values in payload["schemes"].items()
+        if values.get("telemetry") is not None
+    }
+    if not telemetry:
+        return ""
+    return "\ntelemetry:\n" + json.dumps(telemetry, indent=2)
+
+
 def _render(args, payload: dict) -> str:
     if args.json:
         return json.dumps(payload, indent=2)
@@ -399,7 +457,7 @@ def _render(args, payload: dict) -> str:
         table = format_table(
             ["scheme", "B_min", "plan", "transfer", "total"], rows
         )
-        return header + "\n" + table
+        return header + "\n" + table + _metrics_block(args, payload)
     if args.command == "fullnode":
         rows = [
             (name, f"{v['total_seconds']} s", f"{v['mean_task_seconds']} s")
@@ -409,18 +467,40 @@ def _render(args, payload: dict) -> str:
             f"full-node repair on {payload['trace']}: node "
             f"{payload['failed_node']}, {payload['chunks']} chunks"
         )
-        return header + "\n" + format_table(
-            ["scheme", "total", "mean/task"], rows
-        )
+        table = format_table(["scheme", "total", "mean/task"], rows)
+        return header + "\n" + table + _metrics_block(args, payload)
     if args.command == "experiment":
         return json.dumps(payload, indent=2)
     # trace generate/analyze: key-value listing.
     return "\n".join(f"{key}: {value}" for key, value in payload.items())
 
 
+def _configure_logging(verbosity: int) -> None:
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    logger = logging.getLogger("repro")
+    logger.setLevel(level)
+    # Idempotent across repeated main() calls (e.g. from tests): reuse the
+    # CLI's handler instead of stacking duplicates.
+    for handler in logger.handlers:
+        if getattr(handler, "_repro_cli", False):
+            handler.setLevel(level)
+            return
+    handler = logging.StreamHandler(sys.stderr)
+    handler._repro_cli = True
+    handler.setFormatter(
+        logging.Formatter("%(levelname)s %(name)s: %(message)s")
+    )
+    logger.addHandler(handler)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
+    tracing = args.trace is not None or args.timeline or args.metrics
+    tracer = Tracer() if tracing else NULL_TRACER
     try:
         if args.command == "trace":
             if args.trace_command == "generate":
@@ -428,17 +508,30 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 payload = _cmd_trace_analyze(args)
         elif args.command == "plan":
-            payload = _cmd_plan(args)
+            payload = _cmd_plan(args, tracer)
         elif args.command == "repair":
-            payload = _cmd_repair(args)
+            payload = _cmd_repair(args, tracer)
         elif args.command == "experiment":
-            payload = _cmd_experiment(args)
+            payload = _cmd_experiment(args, tracer)
         else:
-            payload = _cmd_fullnode(args)
+            payload = _cmd_fullnode(args, tracer)
     except (ReproError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(_render(args, payload))
+    if args.timeline and tracer.events:
+        print(render_timeline(tracer.events))
+    if args.trace is not None:
+        try:
+            write_trace(tracer.events, args.trace, fmt=args.trace_format)
+        except OSError as error:
+            print(f"error: cannot write trace: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"trace: {len(tracer.events)} events -> {args.trace} "
+            f"({args.trace_format})",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -24,12 +24,17 @@ from repro.ec.reed_solomon import RSCode
 from repro.ec.stripe import Stripe, place_stripes
 from repro.exceptions import ClusterError
 from repro.cluster.node import DataNode
+from repro.obs.tracer import NULL_TRACER
 
 
 class Cluster:
-    """An erasure-coded storage cluster with a single Master."""
+    """An erasure-coded storage cluster with a single Master.
 
-    def __init__(self, node_count: int, code: RSCode):
+    A live ``tracer`` records Master-side decisions (stripe placement,
+    failures, which helpers a repair used) on the ``master`` track.
+    """
+
+    def __init__(self, node_count: int, code: RSCode, tracer=NULL_TRACER):
         if node_count < code.n:
             raise ClusterError(
                 f"cluster of {node_count} nodes cannot host (n={code.n}) stripes"
@@ -37,6 +42,7 @@ class Cluster:
         self.code = code
         self.nodes = [DataNode(i) for i in range(node_count)]
         self.stripes: dict[int, Stripe] = {}
+        self.tracer = tracer
 
     @property
     def node_count(self) -> int:
@@ -64,6 +70,11 @@ class Cluster:
                 stripe.chunk_id(chunk_index), coded[chunk_index]
             )
         self.stripes[stripe_id] = stripe
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "master.write_stripe", t=0.0, track="master",
+                stripe=stripe_id, placement=list(stripe.placement),
+            )
         return stripe
 
     def write_random_stripes(
@@ -89,6 +100,11 @@ class Cluster:
             raise ClusterError(f"node {node_id} is already down")
         lost = node.chunk_ids()
         node.fail()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "master.fail_node", t=0.0, track="master",
+                node=node_id, lost_chunks=len(lost),
+            )
         return lost
 
     def lost_chunks(self, failed_node: int) -> list[tuple[Stripe, int]]:
@@ -122,7 +138,8 @@ class Cluster:
             for node in stripe.surviving_nodes(failed_node)
             if self._node(node).alive and node != requestor
         ]
-        plan = planner.plan(snapshot, requestor, candidates, self.code.k)
+        with planner.traced(self.tracer):
+            plan = planner.plan(snapshot, requestor, candidates, self.code.k)
         helper_indices = [
             stripe.chunk_on_node(node) for node in sorted(plan.helpers)
         ]
@@ -140,6 +157,13 @@ class Cluster:
         rebuilt_id = stripe.chunk_id(lost_index)
         self._node(requestor).store(rebuilt_id, payload)
         stripe.relocate(lost_index, requestor)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "master.repair_chunk", t=snapshot.time, track="master",
+                stripe=stripe.stripe_id, lost_index=lost_index,
+                requestor=requestor, scheme=plan.scheme,
+                helpers=sorted(plan.helpers),
+            )
         return plan, payload
 
     def repair_stripe(
@@ -244,7 +268,8 @@ class Cluster:
             for node in stripe.surviving_nodes(holder)
             if self._node(node).alive and node != client
         ]
-        plan = planner.plan(snapshot, client, candidates, self.code.k)
+        with planner.traced(self.tracer):
+            plan = planner.plan(snapshot, client, candidates, self.code.k)
         helper_indices = [
             stripe.chunk_on_node(node) for node in sorted(plan.helpers)
         ]

@@ -25,6 +25,7 @@ from repro.core.bandwidth_view import BandwidthSnapshot
 from repro.core.plan import RepairPlan, RepairPlanner
 from repro.core.tree import RepairTree
 from repro.exceptions import PlanningError
+from repro.obs.tracer import NULL_TRACER
 
 
 def select_pivots(
@@ -61,7 +62,10 @@ def _prac(
 
 
 def insert_pivots(
-    snapshot: BandwidthSnapshot, requestor: int, pivots: Sequence[int]
+    snapshot: BandwidthSnapshot,
+    requestor: int,
+    pivots: Sequence[int],
+    tracer=NULL_TRACER,
 ) -> dict[int, int]:
     """Step 1 (Inserting): attach each pivot under the max-prac tree node.
 
@@ -79,6 +83,12 @@ def insert_pivots(
         parents[pivot] = parent
         child_count[parent] += 1
         child_count[pivot] = 0
+        if tracer.enabled:
+            tracer.instant(
+                "planner.insert", t=snapshot.time, track="planner",
+                pivot=pivot, parent=parent, parent_prac=-neg_prac,
+                theo=snapshot.theo(pivot),
+            )
         heapq.heappush(
             heap,
             (-_prac(snapshot, parent, requestor, child_count[parent]), parent),
@@ -92,6 +102,7 @@ def replace_leaves(
     requestor: int,
     parents: dict[int, int],
     unselected: Sequence[int],
+    tracer=NULL_TRACER,
 ) -> dict[int, int]:
     """Step 2 (Replacing): swap weak-uplink leaves for stronger outsiders.
 
@@ -107,6 +118,13 @@ def replace_leaves(
     incoming = sorted(node for node in chosen if node not in set(leaves))
     for leaf, newcomer in zip(outgoing, incoming):
         parents[newcomer] = parents.pop(leaf)
+        if tracer.enabled:
+            tracer.instant(
+                "planner.replace", t=snapshot.time, track="planner",
+                leaf=leaf, newcomer=newcomer,
+                leaf_up=snapshot.up_of(leaf),
+                newcomer_up=snapshot.up_of(newcomer),
+            )
     return parents
 
 
@@ -115,20 +133,38 @@ def build_pivot_tree(
     requestor: int,
     candidates: Sequence[int],
     k: int,
+    tracer=NULL_TRACER,
 ) -> RepairTree:
     """Run Algorithm 1 and return the optimal pipelined repair tree."""
     pivots = select_pivots(snapshot, candidates, k)
-    parents = insert_pivots(snapshot, requestor, pivots)
+    if tracer.enabled:
+        tracer.instant(
+            "planner.pivots", t=snapshot.time, track="planner",
+            requestor=requestor, pivots=list(pivots),
+        )
+    parents = insert_pivots(snapshot, requestor, pivots, tracer=tracer)
     selected = set(pivots)
     unselected = [node for node in candidates if node not in selected]
-    parents = replace_leaves(snapshot, requestor, parents, unselected)
-    return RepairTree(requestor, parents)
+    parents = replace_leaves(
+        snapshot, requestor, parents, unselected, tracer=tracer
+    )
+    tree = RepairTree(requestor, parents)
+    if tracer.enabled:
+        tracer.instant(
+            "planner.tree", t=snapshot.time, track="planner",
+            requestor=requestor, edges=tree.edges(),
+            bmin=tree.bmin(snapshot), depth=tree.depth(),
+        )
+    return tree
 
 
 class PivotRepairPlanner(RepairPlanner):
     """The paper's scheme: O(n log n) pivot-based tree construction."""
 
     name = "PivotRepair"
+
+    def __init__(self, tracer=NULL_TRACER):
+        self.tracer = tracer
 
     def _build(
         self,
@@ -137,7 +173,9 @@ class PivotRepairPlanner(RepairPlanner):
         candidates: list[int],
         k: int,
     ) -> RepairPlan:
-        tree = build_pivot_tree(snapshot, requestor, candidates, k)
+        tree = build_pivot_tree(
+            snapshot, requestor, candidates, k, tracer=self.tracer
+        )
         return RepairPlan(
             scheme=self.name,
             requestor=requestor,

@@ -5,11 +5,13 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.core.bandwidth_view import BandwidthSnapshot
 from repro.core.tree import RepairTree
 from repro.exceptions import PlanningError
+from repro.obs.tracer import NULL_TRACER
 
 
 @dataclass
@@ -61,6 +63,20 @@ class RepairPlanner(ABC):
     #: Human-readable scheme name, e.g. "PivotRepair".
     name: str = "base"
 
+    #: Structured event tracer; reassign to a live Tracer to observe
+    #: planning decisions (subclasses may emit richer per-step events).
+    tracer = NULL_TRACER
+
+    @contextmanager
+    def traced(self, tracer):
+        """Temporarily route this planner's events to ``tracer``."""
+        previous = self.tracer
+        self.tracer = tracer
+        try:
+            yield self
+        finally:
+            self.tracer = previous
+
     def plan(
         self,
         snapshot: BandwidthSnapshot,
@@ -81,6 +97,13 @@ class RepairPlanner(ABC):
         started = time.perf_counter()
         plan = self._build(snapshot, requestor, candidates, k)
         plan.planning_seconds = time.perf_counter() - started
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "planner.plan", t=snapshot.time, track="planner",
+                scheme=plan.scheme, requestor=requestor,
+                helpers=len(plan.helpers), bmin=plan.bmin,
+                trees_examined=plan.trees_examined,
+            )
         return plan
 
     @abstractmethod

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.core.tree import RepairTree
 from repro.exceptions import PlanningError
+from repro.obs.tracer import NULL_TRACER
 from repro.units import to_mbps
 
 
@@ -95,6 +96,7 @@ def recommendation_value(
     running: list[RunningTask],
     now: float,
     config: SchedulerConfig | None = None,
+    tracer=NULL_TRACER,
 ) -> float:
     """Equation (3): how strongly this task is recommended right now."""
     config = config or SchedulerConfig()
@@ -104,4 +106,11 @@ def recommendation_value(
         penalty += similarity * (
             config.alpha * task.relative_delay(now) + config.beta
         )
-    return to_mbps(candidate_bmin) - penalty
+    value = to_mbps(candidate_bmin) - penalty
+    if tracer.enabled:
+        tracer.instant(
+            "scheduler.recommendation", t=now, track="scheduler",
+            requestor=candidate.root, bmin_mbps=to_mbps(candidate_bmin),
+            penalty=penalty, value=value, running=len(running),
+        )
+    return value

@@ -16,6 +16,7 @@ from repro.core.scheduler import SchedulerConfig
 from repro.ec import RSCode, place_stripes
 from repro.experiments.config import DEFAULT_SETTINGS, ExperimentSettings
 from repro.experiments.single_chunk import PPT_TREE_BUDGET
+from repro.obs.tracer import NULL_TRACER
 from repro.repair import (
     ExecutionConfig,
     FullNodeResult,
@@ -63,6 +64,7 @@ def run_figure7(
     settings: ExperimentSettings = DEFAULT_SETTINGS,
     config: ExecutionConfig | None = None,
     chunks: int = STRIPES_TO_ERASE,
+    tracer=NULL_TRACER,
 ) -> dict[tuple[int, int], dict[str, FullNodeResult]]:
     """Full-node repair for every (n, k) and every Figure 7 scheme."""
     config = config or ExecutionConfig()
@@ -76,19 +78,20 @@ def run_figure7(
         row: dict[str, FullNodeResult] = {}
         row["RP"] = repair_full_node(
             RPPlanner(), network, stripes, failed_node,
-            concurrency=CONCURRENCY, config=config,
+            concurrency=CONCURRENCY, config=config, tracer=tracer,
         )
         row["PPT"] = repair_full_node(
             PPTPlanner(tree_budget=PPT_TREE_BUDGET), network, stripes,
             failed_node, concurrency=CONCURRENCY, config=config,
+            tracer=tracer,
         )
         row["PivotRepair"] = repair_full_node(
             PivotRepairPlanner(), network, stripes, failed_node,
-            concurrency=CONCURRENCY, config=config,
+            concurrency=CONCURRENCY, config=config, tracer=tracer,
         )
         row["PivotRepair+strategy"] = repair_full_node_adaptive(
             PivotRepairPlanner(), network, stripes, failed_node,
-            scheduler=FIG7_SCHEDULER, config=config,
+            scheduler=FIG7_SCHEDULER, config=config, tracer=tracer,
         )
         results[(n, k)] = row
     return results

@@ -22,6 +22,7 @@ from repro.baselines import PPTPlanner, RPPlanner
 from repro.core import PivotRepairPlanner
 from repro.exceptions import PlanningError
 from repro.experiments.config import DEFAULT_SETTINGS, ExperimentSettings
+from repro.obs.tracer import NULL_TRACER
 from repro.repair import ExecutionConfig, repair_single_chunk
 from repro.traces import congested_seconds
 from repro.traces.workload import WorkloadTrace
@@ -106,6 +107,7 @@ def run_cell(
     scheme: str,
     config: ExecutionConfig | None = None,
     instants: int = INSTANTS_PER_CELL,
+    tracer=NULL_TRACER,
 ) -> CellResult:
     """Run one (workload, code, scheme) cell and average its timings."""
     config = config or ExecutionConfig()
@@ -119,7 +121,7 @@ def run_cell(
         )
         result = repair_single_chunk(
             planner, network, requestor, survivors, k,
-            start_time=instant, config=config,
+            start_time=instant, config=config, tracer=tracer,
         )
         planning.append(result.planning_seconds)
         transfer.append(result.transfer_seconds)
@@ -132,6 +134,7 @@ def run_figure5(
     workload_traces: dict[str, WorkloadTrace],
     workload_networks: dict,
     settings: ExperimentSettings = DEFAULT_SETTINGS,
+    tracer=NULL_TRACER,
 ) -> dict:
     """All Figure 5 cells: results[workload][(n, k)][scheme] -> CellResult."""
     results: dict = {}
@@ -140,7 +143,9 @@ def run_figure5(
         results[name] = {}
         for n, k in settings.codes:
             results[name][(n, k)] = {
-                scheme: run_cell(trace, network, n, k, scheme)
+                scheme: run_cell(
+                    trace, network, n, k, scheme, tracer=tracer
+                )
                 for scheme in SCHEMES
             }
     return results

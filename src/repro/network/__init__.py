@@ -7,7 +7,7 @@ from repro.network.fairness import (
     usage_from_edges,
 )
 from repro.network.hierarchical import RackNetwork
-from repro.network.simulator import FluidSimulator, TaskHandle
+from repro.network.simulator import FluidSimulator, SimulatorStats, TaskHandle
 from repro.network.topology import StarNetwork
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "FluidSimulator",
     "NodeBandwidth",
     "RackNetwork",
+    "SimulatorStats",
     "StarNetwork",
     "TaskHandle",
     "allocate_edge_tasks",

@@ -28,6 +28,30 @@ from dataclasses import dataclass, field
 from repro.exceptions import SimulationError
 from repro.network.fairness import max_min_allocate
 from repro.network.topology import StarNetwork
+from repro.obs.tracer import NULL_TRACER
+
+
+@dataclass
+class SimulatorStats:
+    """Event-loop statistics: what the fluid model itself costs.
+
+    ``steps`` counts event-loop advances (task finishes, capacity
+    breakpoints, explicit ``advance_to`` targets); ``rate_recomputations``
+    counts max-min fair re-allocations — the simulator's dominant cost.
+    """
+
+    steps: int = 0
+    rate_recomputations: int = 0
+    tasks_submitted: int = 0
+    tasks_completed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "steps": self.steps,
+            "rate_recomputations": self.rate_recomputations,
+            "tasks_submitted": self.tasks_submitted,
+            "tasks_completed": self.tasks_completed,
+        }
 
 
 @dataclass
@@ -66,15 +90,30 @@ class _Entity:
 class FluidSimulator:
     """Fluid simulator over a star network with time-varying capacities."""
 
-    def __init__(self, network, start_time: float = 0.0):
+    def __init__(self, network, start_time: float = 0.0, tracer=NULL_TRACER):
         self.network = network
         self.now = float(start_time)
+        self.tracer = tracer
+        self.stats = SimulatorStats()
+        #: Bytes carried so far per node, split by direction (uplink =
+        #: node uploads, downlink = node receives).  Updated every step
+        #: from the fluid rates, so partially-finished tasks count too.
+        self.bytes_up: dict[int, float] = {}
+        self.bytes_down: dict[int, float] = {}
         self._entities: dict[int, _Entity] = {}
         self._entity_ids = itertools.count()
         self._handles: dict[int, TaskHandle] = {}
         self._task_ids = itertools.count()
         self._task_entities: dict[int, set[int]] = {}
+        self._task_tracks: dict[int, str] = {}
+        self._task_spans: dict[int, int] = {}
+        self._task_rates: dict[int, float] = {}
         self._rates_valid = False
+
+    @property
+    def total_bytes_transferred(self) -> float:
+        """Total bytes moved over all links so far (sum over edges)."""
+        return sum(self.bytes_up.values())
 
     # ------------------------------------------------------------------
     # Submission
@@ -107,6 +146,11 @@ class FluidSimulator:
             max_rate=max_rate,
         )
         self._add_entities(handle, [entity])
+        if self.tracer.enabled:
+            self._trace_submit(
+                handle, list(edges), shape="pipelined",
+                bytes_total=float(bytes_per_edge) * len(edges),
+            )
         return handle
 
     def submit_bulk(
@@ -139,7 +183,39 @@ class FluidSimulator:
                 )
             )
         self._add_entities(handle, entities)
+        if self.tracer.enabled:
+            self._trace_submit(
+                handle, [(src, dst) for src, dst, _ in transfers],
+                shape="bulk",
+                bytes_total=float(sum(size for _, _, size in transfers)),
+            )
         return handle
+
+    def _trace_submit(
+        self,
+        handle: TaskHandle,
+        edges: list[tuple[int, int]],
+        shape: str,
+        bytes_total: float,
+    ) -> None:
+        """Open a span for the task on its sink node's track."""
+        sources = {src for src, _ in edges}
+        sinks = {dst for _, dst in edges if dst not in sources}
+        track = f"node:{min(sinks)}" if sinks else "sim"
+        self._task_tracks[handle.task_id] = track
+        self._task_spans[handle.task_id] = self.tracer.begin(
+            "flow",
+            t=self.now,
+            track=track,
+            label=handle.label,
+            shape=shape,
+            edges=[list(edge) for edge in edges],
+            bytes_total=bytes_total,
+        )
+        self.tracer.instant(
+            "flow.submit", t=self.now, track=track,
+            label=handle.label, edges=len(edges),
+        )
 
     def _usage_of(self, edges) -> dict:
         """Aggregate topology resource usage of a set of edges."""
@@ -159,6 +235,7 @@ class FluidSimulator:
         )
         self._handles[task_id] = handle
         self._task_entities[task_id] = set()
+        self.stats.tasks_submitted += 1
         return handle
 
     def _add_entities(
@@ -273,8 +350,18 @@ class FluidSimulator:
         if elapsed < 0:
             raise SimulationError("time went backwards")
         for entity in self._entities.values():
-            entity.remaining -= entity.rate * elapsed
+            transferred = entity.rate * elapsed
+            entity.remaining -= transferred
+            if transferred > 0:
+                for src, dst in entity.edges:
+                    self.bytes_up[src] = (
+                        self.bytes_up.get(src, 0.0) + transferred
+                    )
+                    self.bytes_down[dst] = (
+                        self.bytes_down.get(dst, 0.0) + transferred
+                    )
         self.now = next_event
+        self.stats.steps += 1
         self._rates_valid = False
 
         # An entity is done when its residue is negligible either in bytes
@@ -296,6 +383,22 @@ class FluidSimulator:
                 handle = self._handles[entity.task_id]
                 handle.finish_time = self.now
                 completed.append(handle)
+                self.stats.tasks_completed += 1
+                if self.tracer.enabled:
+                    track = self._task_tracks.pop(
+                        entity.task_id, "sim"
+                    )
+                    self._task_rates.pop(entity.task_id, None)
+                    span_id = self._task_spans.pop(entity.task_id, None)
+                    self.tracer.instant(
+                        "flow.finish", t=self.now, track=track,
+                        label=handle.label,
+                        duration=handle.finish_time - handle.submit_time,
+                    )
+                    if span_id is not None:
+                        self.tracer.end(
+                            "flow", t=self.now, span_id=span_id, track=track
+                        )
         return completed
 
     def _ensure_rates(self) -> None:
@@ -310,4 +413,25 @@ class FluidSimulator:
         )
         for entity, rate in zip(entities, rates):
             entity.rate = rate
+        self.stats.rate_recomputations += 1
         self._rates_valid = True
+        if self.tracer.enabled and entities:
+            self._trace_rate_changes()
+
+    def _trace_rate_changes(self) -> None:
+        """Emit ``flow.rate_change`` for tasks whose aggregate rate moved."""
+        for task_id, entity_ids in self._task_entities.items():
+            if not entity_ids:
+                continue
+            rate = sum(self._entities[i].rate for i in entity_ids)
+            previous = self._task_rates.get(task_id)
+            if previous is not None and abs(rate - previous) <= 1e-9:
+                continue
+            self._task_rates[task_id] = rate
+            self.tracer.instant(
+                "flow.rate_change",
+                t=self.now,
+                track=self._task_tracks.get(task_id, "sim"),
+                label=self._handles[task_id].label,
+                rate=rate,
+            )

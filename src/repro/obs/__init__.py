@@ -1,0 +1,43 @@
+"""Observability: structured event tracing, metrics, timeline export.
+
+Three pieces, all dependency-free and usable independently:
+
+* :mod:`repro.obs.tracer` — a structured event tracer.  Modules accept a
+  :class:`Tracer` and emit *instant* events and *spans* carrying simulated
+  time (and optionally wall time).  The default :data:`NULL_TRACER` is a
+  zero-cost no-op: hot paths guard on ``tracer.enabled`` and never build
+  an event payload when tracing is off.
+* :mod:`repro.obs.metrics` — a metrics registry (counters, gauges,
+  histograms with percentile summaries).  Repair entry points fill one
+  per run and expose its snapshot as the ``telemetry`` field of
+  :class:`~repro.repair.metrics.RepairResult` /
+  :class:`~repro.repair.metrics.FullNodeResult`.
+* :mod:`repro.obs.export` — exporters: JSONL (one event per line,
+  deterministic by default) and Chrome ``trace_event`` JSON loadable in
+  ``chrome://tracing`` / Perfetto, one track per node plus planner and
+  scheduler tracks.
+"""
+
+from repro.obs.export import (
+    events_from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_trace,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TraceEvent",
+    "Tracer",
+    "events_from_jsonl",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_trace",
+]

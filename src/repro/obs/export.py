@@ -1,0 +1,163 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` JSON.
+
+* :func:`to_jsonl` — one compact JSON object per event per line.  Wall
+  times are excluded by default so that two runs with the same seed
+  produce byte-identical streams.
+* :func:`to_chrome_trace` — the Chrome trace-event format (the
+  ``{"traceEvents": [...]}`` JSON object), loadable in
+  ``chrome://tracing`` and Perfetto.  Simulated seconds map to trace
+  microseconds; every tracer track becomes one named thread (node tracks
+  first, then planner/scheduler/etc.), spans become complete (``X``)
+  events and instants become ``i`` events.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.obs.tracer import TraceEvent
+
+__all__ = [
+    "to_jsonl",
+    "to_chrome_trace",
+    "write_trace",
+    "events_from_jsonl",
+]
+
+#: Synthetic process id for the whole simulation.
+TRACE_PID = 1
+
+
+def to_jsonl(
+    events: Sequence[TraceEvent], include_wall: bool = False
+) -> str:
+    """Serialise events as JSON Lines (trailing newline included)."""
+    lines = [
+        json.dumps(
+            event.to_dict(include_wall=include_wall),
+            separators=(",", ":"),
+        )
+        for event in events
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def events_from_jsonl(text: str) -> list[TraceEvent]:
+    """Parse a JSONL stream back into :class:`TraceEvent` records."""
+    events = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        raw = json.loads(line)
+        events.append(
+            TraceEvent(
+                name=raw["name"],
+                kind=raw["kind"],
+                t=float(raw["t"]),
+                track=raw["track"],
+                span_id=raw.get("span_id"),
+                wall=raw.get("wall"),
+                fields=raw.get("fields", {}),
+            )
+        )
+    return events
+
+
+def _track_order(tracks: Iterable[str]) -> dict[str, int]:
+    """Stable tid assignment: node tracks by id, then the rest by name."""
+    nodes = []
+    named = []
+    for track in set(tracks):
+        if track.startswith("node:"):
+            try:
+                nodes.append((int(track.split(":", 1)[1]), track))
+                continue
+            except ValueError:
+                pass
+        named.append(track)
+    ordered = [track for _, track in sorted(nodes)] + sorted(named)
+    return {track: tid for tid, track in enumerate(ordered)}
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> dict:
+    """Build the Chrome trace-event JSON object for a list of events."""
+    tids = _track_order(event.track for event in events)
+    trace_events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": tid,
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track, tid in sorted(tids.items(), key=lambda kv: kv[1])
+    ]
+    # Pair begin/end spans by (track, span_id); leftovers degrade to instants.
+    open_spans: dict[tuple[str, int], TraceEvent] = {}
+    for event in events:
+        tid = tids[event.track]
+        ts = event.t * 1e6  # trace-event timestamps are microseconds
+        if event.kind == "begin":
+            open_spans[(event.track, event.span_id)] = event
+        elif event.kind == "end":
+            begin = open_spans.pop((event.track, event.span_id), None)
+            if begin is None:
+                trace_events.append(
+                    _instant(event.name, ts, tid, event.fields)
+                )
+                continue
+            args = dict(begin.fields)
+            args.update(event.fields)
+            trace_events.append(
+                {
+                    "name": begin.name,
+                    "ph": "X",
+                    "ts": begin.t * 1e6,
+                    "dur": max(ts - begin.t * 1e6, 0.0),
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        else:
+            trace_events.append(_instant(event.name, ts, tid, event.fields))
+    for (track, _), begin in open_spans.items():
+        trace_events.append(
+            _instant(begin.name, begin.t * 1e6, tids[track], begin.fields)
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_unit": "sim-seconds"},
+    }
+
+
+def _instant(name: str, ts: float, tid: int, fields: dict) -> dict:
+    return {
+        "name": name,
+        "ph": "i",
+        "ts": ts,
+        "pid": TRACE_PID,
+        "tid": tid,
+        "s": "t",
+        "args": dict(fields),
+    }
+
+
+def write_trace(
+    events: Sequence[TraceEvent],
+    path: str | Path,
+    fmt: str = "jsonl",
+    include_wall: bool = False,
+) -> Path:
+    """Write events to ``path`` in ``jsonl`` or ``chrome`` format."""
+    path = Path(path)
+    if fmt == "jsonl":
+        path.write_text(to_jsonl(events, include_wall=include_wall))
+    elif fmt == "chrome":
+        path.write_text(json.dumps(to_chrome_trace(events), indent=1))
+    else:
+        raise ValueError(f"unknown trace format {fmt!r}")
+    return path

@@ -1,0 +1,150 @@
+"""Metrics registry: counters, gauges, histograms with percentiles.
+
+A :class:`MetricsRegistry` is filled during a repair run and snapshotted
+into the ``telemetry`` field of the result records.  Metric names are
+plain strings; per-node series use a ``name/node`` convention (e.g.
+``bytes_up/3``) which :meth:`MetricsRegistry.snapshot` also folds into
+nested ``per_node_*`` maps for convenient consumption.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Stores raw observations; summarises count/min/max/mean/percentiles.
+
+    Repair runs observe at most a few thousand values (one per chunk or
+    per event-loop step), so keeping the raw samples is simpler and more
+    accurate than bucketing.
+    """
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        if not self.samples:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q} out of [0, 100]")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict[str, float]:
+        if not self.samples:
+            return {"count": 0}
+        return {
+            "count": len(self.samples),
+            "min": min(self.samples),
+            "max": max(self.samples),
+            "mean": sum(self.samples) / len(self.samples),
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms for one run."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            self._check_free(name, self._gauges, self._histograms)
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            self._check_free(name, self._counters, self._histograms)
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            self._check_free(name, self._counters, self._gauges)
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    @staticmethod
+    def _check_free(name: str, *families: dict) -> None:
+        for family in families:
+            if name in family:
+                raise ValueError(
+                    f"metric {name!r} already registered with another type"
+                )
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every metric, JSON-serialisable.
+
+        ``name/key`` counters and gauges are additionally folded into
+        nested ``per_<name>`` maps, so ``bytes_up/3`` shows up both as a
+        flat counter and under ``per_bytes_up[3]``.
+        """
+        counters = {
+            name: metric.value for name, metric in sorted(self._counters.items())
+        }
+        gauges = {
+            name: metric.value for name, metric in sorted(self._gauges.items())
+        }
+        out: dict = {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": {
+                name: metric.summary()
+                for name, metric in sorted(self._histograms.items())
+            },
+        }
+        for family in (counters, gauges):
+            for name, value in family.items():
+                if "/" not in name:
+                    continue
+                base, key = name.split("/", 1)
+                out.setdefault(f"per_{base}", {})[key] = value
+        return out

@@ -1,0 +1,165 @@
+"""Structured event tracer with a zero-cost no-op default.
+
+Instrumented modules take a ``tracer`` argument defaulting to
+:data:`NULL_TRACER` and guard every emission site with ``tracer.enabled``,
+so a run without tracing pays one attribute load per site and never
+formats an event.  With a real :class:`Tracer`, each site records a
+:class:`TraceEvent` carrying
+
+* ``t`` — **simulated** seconds (the timeline the paper's figures use);
+* ``wall`` — wall-clock seconds (``time.perf_counter``), recorded only
+  when the tracer was built with ``record_wall=True`` so that the default
+  event stream is byte-for-byte deterministic for a fixed seed;
+* ``track`` — the timeline the event belongs to (``node:<id>``,
+  ``planner``, ``scheduler``, ``sim``, ``master``);
+* ``fields`` — event-specific structured payload.
+
+Spans are begin/end pairs matched by ``(track, span_id)``; exporters pair
+them back into intervals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace event."""
+
+    name: str
+    kind: str  # "instant" | "begin" | "end"
+    t: float  # simulated seconds
+    track: str
+    span_id: int | None = None
+    wall: float | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self, include_wall: bool = False) -> dict[str, Any]:
+        """Plain-dict form (JSONL line payload), deterministic by default."""
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "t": self.t,
+            "track": self.track,
+        }
+        if self.span_id is not None:
+            payload["span_id"] = self.span_id
+        if include_wall and self.wall is not None:
+            payload["wall"] = self.wall
+        if self.fields:
+            payload["fields"] = self.fields
+        return payload
+
+
+class Tracer:
+    """Collects structured events; cheap enough to thread everywhere."""
+
+    enabled = True
+
+    def __init__(self, record_wall: bool = False):
+        self.events: list[TraceEvent] = []
+        self.record_wall = record_wall
+        self._span_ids = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def _wall(self) -> float | None:
+        return time.perf_counter() if self.record_wall else None
+
+    def instant(self, name: str, t: float, track: str = "sim", **fields) -> None:
+        """Record a point event at simulated time ``t``."""
+        self.events.append(
+            TraceEvent(
+                name=name, kind="instant", t=float(t), track=track,
+                wall=self._wall(), fields=fields,
+            )
+        )
+
+    def begin(self, name: str, t: float, track: str = "sim", **fields) -> int:
+        """Open a span; returns the span id to pass to :meth:`end`."""
+        self._span_ids += 1
+        span_id = self._span_ids
+        self.events.append(
+            TraceEvent(
+                name=name, kind="begin", t=float(t), track=track,
+                span_id=span_id, wall=self._wall(), fields=fields,
+            )
+        )
+        return span_id
+
+    def end(
+        self, name: str, t: float, span_id: int, track: str = "sim", **fields
+    ) -> None:
+        """Close the span opened under ``span_id``."""
+        self.events.append(
+            TraceEvent(
+                name=name, kind="end", t=float(t), track=track,
+                span_id=span_id, wall=self._wall(), fields=fields,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Event count per event name."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            out[event.name] = out.get(event.name, 0) + 1
+        return out
+
+    def counts_by_prefix(self) -> dict[str, int]:
+        """Event count per dotted name prefix (``flow.submit`` -> ``flow``)."""
+        out: dict[str, int] = {}
+        for event in self.events:
+            prefix = event.name.split(".", 1)[0]
+            out[prefix] = out.get(prefix, 0) + 1
+        return out
+
+    def tracks(self) -> list[str]:
+        """Track names in first-seen order."""
+        seen: dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.track, None)
+        return list(seen)
+
+
+class NullTracer:
+    """Disabled tracer: every method is a no-op, ``enabled`` is False.
+
+    Instrumentation sites check ``tracer.enabled`` before building field
+    dicts, so the disabled path costs one attribute load and a branch.
+    """
+
+    enabled = False
+    events: tuple = ()
+
+    def instant(self, name: str, t: float, track: str = "sim", **fields) -> None:
+        pass
+
+    def begin(self, name: str, t: float, track: str = "sim", **fields) -> int:
+        return 0
+
+    def end(
+        self, name: str, t: float, span_id: int, track: str = "sim", **fields
+    ) -> None:
+        pass
+
+    def counts(self) -> dict[str, int]:
+        return {}
+
+    def counts_by_prefix(self) -> dict[str, int]:
+        return {}
+
+    def tracks(self) -> list[str]:
+        return []
+
+
+#: Shared module-level no-op tracer; the default everywhere.
+NULL_TRACER = NullTracer()

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Sequence
 
 from repro.core.bandwidth_view import BandwidthSnapshot
@@ -9,12 +10,16 @@ from repro.core.plan import RepairPlan, RepairPlanner
 from repro.exceptions import PlanningError
 from repro.network.simulator import FluidSimulator
 from repro.network.topology import StarNetwork
+from repro.obs.tracer import NULL_TRACER
 from repro.repair.metrics import RepairResult
 from repro.repair.pipeline import (
     ExecutionConfig,
     pipeline_bytes_per_edge,
     pipeline_overhead_seconds,
 )
+from repro.repair.telemetry import registry_from_run
+
+logger = logging.getLogger(__name__)
 
 
 def execute_plan(
@@ -22,26 +27,54 @@ def execute_plan(
     network: StarNetwork,
     start_time: float = 0.0,
     config: ExecutionConfig | None = None,
+    tracer=NULL_TRACER,
 ) -> RepairResult:
     """Run a repair plan on a fresh simulator and time the transfer.
 
     Pipelined plans become one coupled task (every tree edge at a common
     rate); staged plans run their rounds back-to-back, each round a set of
-    independent whole-chunk flows.
+    independent whole-chunk flows.  With a live ``tracer`` the simulator
+    emits flow events and the result carries a ``telemetry`` snapshot.
     """
     config = config or ExecutionConfig()
-    sim = FluidSimulator(network, start_time=start_time)
+    sim = FluidSimulator(network, start_time=start_time, tracer=tracer)
     if plan.is_pipelined:
         transfer = _run_pipelined(plan, sim, config)
     else:
         transfer = _run_staged(plan, sim, config)
+    logger.info(
+        "%s repair: transfer %.3fs, %.0f bytes over %d links",
+        plan.scheme, transfer, sim.total_bytes_transferred,
+        len(sim.bytes_up),
+    )
     return RepairResult(
         scheme=plan.scheme,
         planning_seconds=plan.effective_planning_seconds,
         transfer_seconds=transfer,
         bmin=plan.bmin,
         plan=plan,
+        bytes_transferred=sim.total_bytes_transferred,
+        telemetry=_telemetry(plan, sim, transfer, tracer),
     )
+
+
+def _telemetry(
+    plan: RepairPlan, sim: FluidSimulator, transfer: float, tracer
+) -> dict:
+    """Registry snapshot of one single-chunk run."""
+    registry = registry_from_run(sim, tracer)
+    if plan.is_pipelined and plan.bmin > 0 and transfer > 0:
+        # Achieved pipeline rate over the planner's promised bottleneck:
+        # ~1.0 when the plan held, < 1 when congestion moved against it.
+        bytes_per_edge = sim.total_bytes_transferred / max(
+            len(plan.tree.edges()), 1
+        )
+        registry.gauge("bottleneck_utilization").set(
+            bytes_per_edge / transfer / plan.bmin
+        )
+    registry.gauge("planner_seconds").set(plan.effective_planning_seconds)
+    registry.histogram("task_seconds").observe(transfer)
+    return registry.snapshot()
 
 
 def _run_pipelined(
@@ -82,8 +115,12 @@ def repair_single_chunk(
     k: int,
     start_time: float = 0.0,
     config: ExecutionConfig | None = None,
+    tracer=NULL_TRACER,
 ) -> RepairResult:
     """Plan (from a snapshot at ``start_time``) and execute one repair."""
     snapshot = BandwidthSnapshot.from_network(network, start_time)
-    plan = planner.plan(snapshot, requestor, candidates, k)
-    return execute_plan(plan, network, start_time=start_time, config=config)
+    with planner.traced(tracer):
+        plan = planner.plan(snapshot, requestor, candidates, k)
+    return execute_plan(
+        plan, network, start_time=start_time, config=config, tracer=tracer
+    )

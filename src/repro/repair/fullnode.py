@@ -20,6 +20,7 @@ large k in Figure 7.
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -34,8 +35,13 @@ from repro.ec.stripe import Stripe
 from repro.exceptions import ClusterError
 from repro.network.simulator import FluidSimulator, TaskHandle
 from repro.network.topology import StarNetwork
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.repair.metrics import FullNodeResult, RepairResult
 from repro.repair.pipeline import ExecutionConfig, pipeline_bytes_per_edge
+from repro.repair.telemetry import registry_from_run
+
+logger = logging.getLogger(__name__)
 
 
 def choose_requestor(
@@ -97,7 +103,9 @@ def _plan_stripe(
     snapshot = residual_snapshot(network, sim)
     requestor = choose_requestor(snapshot, stripe, failed_node, len(network))
     candidates = stripe.surviving_nodes(failed_node)
-    return planner.plan(snapshot, requestor, candidates, stripe.code.k)
+    plan = planner.plan(snapshot, requestor, candidates, stripe.code.k)
+    plan.notes["stripe_id"] = stripe.stripe_id
+    return plan
 
 
 def _submit(
@@ -125,9 +133,17 @@ def _collect(
     finished: Sequence[TaskHandle],
     in_flight: dict[int, _InFlight],
     results: list[RepairResult],
+    registry: MetricsRegistry | None = None,
+    config: ExecutionConfig | None = None,
 ) -> None:
     for handle in finished:
         flight = in_flight.pop(handle.task_id)
+        tree = flight.plan.tree
+        bytes_moved = 0.0
+        if config is not None and tree is not None:
+            bytes_moved = pipeline_bytes_per_edge(
+                config, tree.depth()
+            ) * len(tree.edges())
         results.append(
             RepairResult(
                 scheme=flight.plan.scheme,
@@ -135,8 +151,20 @@ def _collect(
                 transfer_seconds=handle.duration,
                 bmin=flight.plan.bmin,
                 plan=flight.plan,
+                bytes_transferred=bytes_moved,
             )
         )
+        if registry is not None:
+            registry.histogram("task_seconds").observe(handle.duration)
+            registry.histogram("planner_seconds").observe(
+                flight.plan.effective_planning_seconds
+            )
+
+
+def _run_telemetry(
+    sim: FluidSimulator, tracer, registry: MetricsRegistry
+) -> dict:
+    return registry_from_run(sim, tracer, registry=registry).snapshot()
 
 
 def repair_full_node(
@@ -147,35 +175,45 @@ def repair_full_node(
     concurrency: int = 4,
     config: ExecutionConfig | None = None,
     start_time: float = 0.0,
+    tracer=NULL_TRACER,
 ) -> FullNodeResult:
     """Fixed-concurrency full-node repair (the non-adaptive orchestrator)."""
     if concurrency < 1:
         raise ClusterError("concurrency must be >= 1")
     config = config or ExecutionConfig()
     stripes = _stripes_to_repair(stripes, failed_node)
-    sim = FluidSimulator(network, start_time=start_time)
+    logger.info(
+        "full-node repair (%s): node %d, %d stripes, concurrency %d",
+        planner.name, failed_node, len(stripes), concurrency,
+    )
+    sim = FluidSimulator(network, start_time=start_time, tracer=tracer)
+    registry = MetricsRegistry()
     pending = list(stripes)
     in_flight: dict[int, _InFlight] = {}
     results: list[RepairResult] = []
-    while pending or in_flight:
-        while pending and len(in_flight) < concurrency:
-            stripe = pending.pop(0)
-            plan = _plan_stripe(planner, network, sim, stripe, failed_node)
-            # Planning is serial at the Master: the clock moves while it
-            # runs, and other tasks may complete in that window.
-            done_meanwhile = sim.advance_to(
-                sim.now + plan.effective_planning_seconds
-            )
-            _collect(done_meanwhile, in_flight, results)
-            flight = _submit(sim, plan, config)
-            in_flight[flight.handle.task_id] = flight
-        finished = sim.run_until_completion()
-        _collect(finished, in_flight, results)
+    with planner.traced(tracer):
+        while pending or in_flight:
+            while pending and len(in_flight) < concurrency:
+                stripe = pending.pop(0)
+                plan = _plan_stripe(
+                    planner, network, sim, stripe, failed_node
+                )
+                # Planning is serial at the Master: the clock moves while it
+                # runs, and other tasks may complete in that window.
+                done_meanwhile = sim.advance_to(
+                    sim.now + plan.effective_planning_seconds
+                )
+                _collect(done_meanwhile, in_flight, results, registry, config)
+                flight = _submit(sim, plan, config)
+                in_flight[flight.handle.task_id] = flight
+            finished = sim.run_until_completion()
+            _collect(finished, in_flight, results, registry, config)
     return FullNodeResult(
         scheme=planner.name,
         failed_node=failed_node,
         total_seconds=sim.now - start_time,
         task_results=results,
+        telemetry=_run_telemetry(sim, tracer, registry),
     )
 
 
@@ -187,27 +225,35 @@ def repair_full_node_adaptive(
     scheduler: SchedulerConfig | None = None,
     config: ExecutionConfig | None = None,
     start_time: float = 0.0,
+    tracer=NULL_TRACER,
 ) -> FullNodeResult:
     """PivotRepair's adaptive full-node repair (recommendation values)."""
     scheduler = scheduler or SchedulerConfig()
     config = config or ExecutionConfig()
     stripes = _stripes_to_repair(stripes, failed_node)
-    sim = FluidSimulator(network, start_time=start_time)
+    logger.info(
+        "adaptive full-node repair (%s): node %d, %d stripes",
+        planner.name, failed_node, len(stripes),
+    )
+    sim = FluidSimulator(network, start_time=start_time, tracer=tracer)
+    registry = MetricsRegistry()
     pending = list(stripes)
     in_flight: dict[int, _InFlight] = {}
     results: list[RepairResult] = []
-    while pending or in_flight:
-        _start_recommended(
-            planner, network, sim, pending, in_flight, failed_node,
-            scheduler, config, results,
-        )
-        finished = sim.run_until_completion()
-        _collect(finished, in_flight, results)
+    with planner.traced(tracer):
+        while pending or in_flight:
+            _start_recommended(
+                planner, network, sim, pending, in_flight, failed_node,
+                scheduler, config, results, registry, tracer,
+            )
+            finished = sim.run_until_completion()
+            _collect(finished, in_flight, results, registry, config)
     return FullNodeResult(
         scheme=f"{planner.name}+strategy",
         failed_node=failed_node,
         total_seconds=sim.now - start_time,
         task_results=results,
+        telemetry=_run_telemetry(sim, tracer, registry),
     )
 
 
@@ -221,6 +267,8 @@ def _start_recommended(
     scheduler: SchedulerConfig,
     config: ExecutionConfig,
     results: list[RepairResult],
+    registry: MetricsRegistry | None = None,
+    tracer=NULL_TRACER,
 ) -> None:
     """Start best-stripe tasks while their recommendation clears the bar."""
     idle_since: float | None = None
@@ -237,10 +285,22 @@ def _start_recommended(
         for index, stripe in enumerate(pending):
             plan = _plan_stripe(planner, network, sim, stripe, failed_node)
             value = recommendation_value(
-                plan.tree, plan.bmin, running, sim.now, scheduler
+                plan.tree, plan.bmin, running, sim.now, scheduler,
+                tracer=tracer,
             )
             if value > best_value:
                 best_index, best_value, best_plan = index, value, plan
+        if registry is not None:
+            registry.counter("scheduler_rounds").inc()
+            registry.histogram("recommendation_value").observe(best_value)
+        if tracer.enabled:
+            tracer.instant(
+                "scheduler.round", t=sim.now, track="scheduler",
+                candidates=len(pending), running=len(in_flight),
+                best_value=best_value,
+                best_stripe=best_plan.notes.get("stripe_id"),
+                started=best_value >= scheduler.threshold,
+            )
         if best_value < scheduler.threshold:
             # Below the threshold we wait for a completion; when nothing is
             # running we check periodically until bandwidths turn
@@ -258,7 +318,13 @@ def _start_recommended(
         done_meanwhile = sim.advance_to(
             sim.now + best_plan.effective_planning_seconds
         )
-        _collect(done_meanwhile, in_flight, results)
+        _collect(done_meanwhile, in_flight, results, registry, config)
+        if tracer.enabled:
+            tracer.instant(
+                "scheduler.start", t=sim.now, track="scheduler",
+                stripe=best_plan.notes.get("stripe_id"),
+                requestor=best_plan.requestor, value=best_value,
+            )
         flight = _submit(sim, best_plan, config)
         in_flight[flight.handle.task_id] = flight
 

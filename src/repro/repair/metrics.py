@@ -13,6 +13,13 @@ class RepairResult:
 
     ``planning_seconds`` is real wall-clock planner cost (extrapolated for
     budget-capped enumerators); ``transfer_seconds`` is simulated time.
+    ``bytes_transferred`` sums what every link carried (per-edge bytes ×
+    edges, including pipeline fill).  ``telemetry`` is a
+    :meth:`repro.obs.MetricsRegistry.snapshot` dict — counters
+    (``flows_completed``, per-node ``bytes_up``/``bytes_down``, simulator
+    event-loop statistics, planner/scheduler event counts), gauges
+    (``bottleneck_utilization``), and histogram summaries — filled by the
+    executors; ``None`` when the run was not instrumented.
     """
 
     scheme: str
@@ -20,6 +27,8 @@ class RepairResult:
     transfer_seconds: float
     bmin: float
     plan: RepairPlan | None = None
+    bytes_transferred: float = 0.0
+    telemetry: dict | None = None
 
     @property
     def total_seconds(self) -> float:
@@ -35,10 +44,17 @@ class FullNodeResult:
     failed_node: int
     total_seconds: float
     task_results: list[RepairResult] = field(default_factory=list)
+    #: Registry snapshot of the whole run (see ``RepairResult.telemetry``).
+    telemetry: dict | None = None
 
     @property
     def chunks_repaired(self) -> int:
         return len(self.task_results)
+
+    @property
+    def bytes_transferred(self) -> float:
+        """Total bytes moved across all links by all repair tasks."""
+        return sum(r.bytes_transferred for r in self.task_results)
 
     @property
     def mean_task_seconds(self) -> float:

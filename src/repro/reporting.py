@@ -92,3 +92,97 @@ def sparkline(values: Sequence[float]) -> str:
     return "".join(
         glyphs[min(int((v - low) / span * 8), 7)] for v in values
     )
+
+
+# ----------------------------------------------------------------------
+# Trace timelines
+# ----------------------------------------------------------------------
+def render_timeline(events: Sequence, width: int = 60) -> str:
+    """ASCII timeline of a traced run, one row per tracer track.
+
+    ``events`` is a sequence of :class:`repro.obs.TraceEvent` (straight
+    from a :class:`~repro.obs.Tracer` or re-read from a JSONL dump).
+    Spans (flow transfers) paint solid bars over the track's row; instant
+    events mark single cells.  A final row sparklines the number of
+    concurrently active flows, which is what the adaptive scheduler
+    modulates.
+    """
+    events = list(events)
+    if not events:
+        return "(no events)"
+    t0 = min(event.t for event in events)
+    t1 = max(event.t for event in events)
+    span = (t1 - t0) or 1.0
+
+    def column(t: float) -> int:
+        return min(int((t - t0) / span * (width - 1)), width - 1)
+
+    # Pair begin/end spans per (track, span_id); unmatched begins run to t1.
+    open_spans: dict[tuple[str, int | None], float] = {}
+    spans: dict[str, list[tuple[float, float]]] = {}
+    instants: dict[str, list[float]] = {}
+    for event in events:
+        if event.kind == "begin":
+            open_spans[(event.track, event.span_id)] = event.t
+        elif event.kind == "end":
+            start = open_spans.pop((event.track, event.span_id), None)
+            if start is not None:
+                spans.setdefault(event.track, []).append((start, event.t))
+        else:
+            instants.setdefault(event.track, []).append(event.t)
+    for (track, _), start in open_spans.items():
+        spans.setdefault(track, []).append((start, t1))
+
+    tracks = _ordered_tracks(set(spans) | set(instants))
+    label_width = max(len(track) for track in tracks)
+    lines = [
+        f"timeline: {format_seconds(t0)} .. {format_seconds(t1)} "
+        f"({format_seconds(t1 - t0)} span)"
+    ]
+    for track in tracks:
+        row = [" "] * width
+        for t in instants.get(track, ()):
+            row[column(t)] = "·"
+        for start, stop in spans.get(track, ()):
+            lo, hi = column(start), column(stop)
+            for i in range(lo, hi + 1):
+                row[i] = "█"
+        lines.append(f"{track.rjust(label_width)} |{''.join(row)}|")
+    concurrency = _active_flow_series(spans, t0, span, width)
+    if any(concurrency):
+        lines.append(
+            f"{'active'.rjust(label_width)} |{sparkline(concurrency)}| "
+            f"peak {int(max(concurrency))}"
+        )
+    return "\n".join(lines)
+
+
+def _ordered_tracks(tracks) -> list[str]:
+    """Node tracks by id first, then named tracks alphabetically."""
+    nodes, named = [], []
+    for track in tracks:
+        if track.startswith("node:"):
+            try:
+                nodes.append((int(track.split(":", 1)[1]), track))
+                continue
+            except ValueError:
+                pass
+        named.append(track)
+    return [t for _, t in sorted(nodes)] + sorted(named)
+
+
+def _active_flow_series(
+    spans: dict[str, list[tuple[float, float]]],
+    t0: float,
+    span: float,
+    width: int,
+) -> list[float]:
+    """Concurrently-open span count sampled at each timeline column."""
+    intervals = [pair for pairs in spans.values() for pair in pairs]
+    series = []
+    for i in range(width):
+        t = t0 + span * i / max(width - 1, 1)
+        series.append(
+            float(sum(1 for start, stop in intervals if start <= t <= stop))
+        )
+    return series

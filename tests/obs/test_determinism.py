@@ -1,0 +1,145 @@
+"""Determinism and telemetry-consistency tests for traced repairs.
+
+Same seed + same inputs must give a byte-identical JSONL event stream.
+The only nondeterministic input is wall-clock planner time, which the
+full-node orchestrators fold into the simulated clock — so those tests
+pin ``planning_seconds`` to zero via a planner subclass.
+"""
+
+import numpy as np
+
+from repro.core import PivotRepairPlanner
+from repro.ec import RSCode, place_stripes
+from repro.network.topology import StarNetwork
+from repro.obs import NULL_TRACER, Tracer, to_jsonl
+from repro.repair import (
+    pipeline_bytes_per_edge,
+    repair_full_node_adaptive,
+    repair_single_chunk,
+)
+from repro.repair.pipeline import ExecutionConfig
+
+
+NODE_COUNT = 10
+CODE = RSCode(6, 4)
+
+
+class ZeroCostPlanner(PivotRepairPlanner):
+    """PivotRepair planner whose wall-clock planning time is pinned to 0.
+
+    Full-node orchestrators advance the simulated clock by the measured
+    planning time, which would make event timestamps nondeterministic.
+    """
+
+    def plan(self, *args, **kwargs):
+        plan = super().plan(*args, **kwargs)
+        plan.planning_seconds = 0.0
+        return plan
+
+
+def seeded_network(seed=7):
+    rng = np.random.default_rng(seed)
+    ups = [float(rng.uniform(200.0, 1200.0)) for _ in range(NODE_COUNT)]
+    downs = [float(rng.uniform(200.0, 1200.0)) for _ in range(NODE_COUNT)]
+    return StarNetwork.constant(ups, downs)
+
+
+def small_config():
+    return ExecutionConfig(
+        chunk_size=10_000, slice_size=1000, per_slice_overhead=0.0
+    )
+
+
+def traced_single_chunk():
+    tracer = Tracer()
+    result = repair_single_chunk(
+        PivotRepairPlanner(), seeded_network(), requestor=0,
+        candidates=range(1, NODE_COUNT), k=CODE.k,
+        config=small_config(), tracer=tracer,
+    )
+    return result, to_jsonl(tracer.events)
+
+
+def traced_full_node():
+    stripes = place_stripes(6, CODE, NODE_COUNT, np.random.default_rng(3))
+    failed = stripes[0].placement[0]
+    tracer = Tracer()
+    result = repair_full_node_adaptive(
+        ZeroCostPlanner(), seeded_network(), stripes, failed,
+        config=small_config(), tracer=tracer,
+    )
+    return result, to_jsonl(tracer.events)
+
+
+class TestDeterminism:
+    def test_single_chunk_jsonl_is_byte_identical(self):
+        _, first = traced_single_chunk()
+        _, second = traced_single_chunk()
+        assert first
+        assert first == second
+
+    def test_full_node_jsonl_is_byte_identical(self):
+        _, first = traced_full_node()
+        _, second = traced_full_node()
+        assert first
+        assert first == second
+
+    def test_tracing_does_not_change_results(self):
+        traced, _ = traced_single_chunk()
+        plain = repair_single_chunk(
+            PivotRepairPlanner(), seeded_network(), requestor=0,
+            candidates=range(1, NODE_COUNT), k=CODE.k,
+            config=small_config(),
+        )
+        assert plain.transfer_seconds == traced.transfer_seconds
+        assert plain.bmin == traced.bmin
+        assert plain.bytes_transferred == traced.bytes_transferred
+
+    def test_null_tracer_stays_empty(self):
+        repair_single_chunk(
+            PivotRepairPlanner(), seeded_network(), requestor=0,
+            candidates=range(1, NODE_COUNT), k=CODE.k,
+            config=small_config(), tracer=NULL_TRACER,
+        )
+        assert len(NULL_TRACER.events) == 0
+
+
+class TestTelemetryConsistency:
+    def test_single_chunk_counters_match_plan(self):
+        result, _ = traced_single_chunk()
+        telemetry = result.telemetry
+        assert telemetry is not None
+        counters = telemetry["counters"]
+        assert counters["flows_completed"] == 1
+        assert counters["flows_submitted"] == 1
+        assert counters["planner_events"] >= 1
+        assert counters["trace_events"] > 0
+
+        tree = result.plan.tree
+        expected = pipeline_bytes_per_edge(
+            small_config(), tree.depth()
+        ) * len(tree.edges())
+        assert result.bytes_transferred == expected
+        assert sum(telemetry["per_bytes_up"].values()) == expected
+
+        # Every sender in the tree shows up in the per-node counters.
+        senders = {str(src) for src, _ in tree.edges()}
+        assert set(telemetry["per_bytes_up"]) == senders
+
+    def test_full_node_telemetry_counts_flows_and_rounds(self):
+        result, _ = traced_full_node()
+        telemetry = result.telemetry
+        assert telemetry is not None
+        counters = telemetry["counters"]
+        assert counters["flows_completed"] == result.chunks_repaired
+        assert counters["scheduler_rounds"] >= result.chunks_repaired
+        assert counters["scheduler_events"] > 0
+        assert counters["planner_events"] > 0
+        histograms = telemetry["histograms"]
+        assert histograms["task_seconds"]["count"] == result.chunks_repaired
+        assert (
+            histograms["planner_seconds"]["count"] == result.chunks_repaired
+        )
+        assert result.bytes_transferred == sum(
+            telemetry["per_bytes_up"].values()
+        )

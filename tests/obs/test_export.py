@@ -1,0 +1,119 @@
+"""Exporter tests: JSONL round-trip and Chrome trace-event schema."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    events_from_jsonl,
+    to_chrome_trace,
+    to_jsonl,
+    write_trace,
+)
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer()
+    span = tracer.begin(
+        "flow", t=1.0, track="node:3", label="PivotRepair", bytes_total=64.0
+    )
+    tracer.instant("planner.plan", t=1.0, track="planner", bmin=9.0)
+    tracer.instant("flow.rate_change", t=1.5, track="node:3", rate=2.0)
+    tracer.end("flow", t=2.0, span_id=span, track="node:3")
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        tracer = sample_tracer()
+        text = to_jsonl(tracer.events)
+        assert text.endswith("\n")
+        parsed = events_from_jsonl(text)
+        assert parsed == list(tracer.events)
+
+    def test_one_json_object_per_line(self):
+        text = to_jsonl(sample_tracer().events)
+        lines = text.strip().split("\n")
+        assert len(lines) == 4
+        for line in lines:
+            payload = json.loads(line)
+            assert {"name", "kind", "t", "track"} <= set(payload)
+
+    def test_wall_excluded_unless_requested(self):
+        tracer = Tracer(record_wall=True)
+        tracer.instant("x", t=0.0)
+        assert "wall" not in to_jsonl(tracer.events)
+        assert "wall" in to_jsonl(tracer.events, include_wall=True)
+
+    def test_empty_stream(self):
+        assert to_jsonl([]) == ""
+        assert events_from_jsonl("") == []
+
+
+class TestChromeTrace:
+    def test_schema_fields(self):
+        trace = to_chrome_trace(sample_tracer().events)
+        events = trace["traceEvents"]
+        assert events, "trace must not be empty"
+        for event in events:
+            assert {"ph", "pid", "tid", "name"} <= set(event)
+            if event["ph"] != "M":
+                assert "ts" in event
+
+    def test_span_becomes_complete_event(self):
+        trace = to_chrome_trace(sample_tracer().events)
+        [complete] = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert complete["name"] == "flow"
+        assert complete["ts"] == pytest.approx(1.0e6)
+        assert complete["dur"] == pytest.approx(1.0e6)
+        assert complete["args"]["label"] == "PivotRepair"
+
+    def test_thread_metadata_names_tracks(self):
+        trace = to_chrome_trace(sample_tracer().events)
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M"
+        }
+        # Node tracks sort before named tracks.
+        assert names[0] == "node:3"
+        assert names[1] == "planner"
+
+    def test_unmatched_begin_degrades_to_instant(self):
+        tracer = Tracer()
+        tracer.begin("flow", t=4.0, track="node:0")
+        trace = to_chrome_trace(tracer.events)
+        [instant] = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert instant["ts"] == pytest.approx(4.0e6)
+
+    def test_node_tracks_sorted_numerically(self):
+        tracer = Tracer()
+        for node in (10, 2, 1):
+            tracer.instant("x", t=0.0, track=f"node:{node}")
+        trace = to_chrome_trace(tracer.events)
+        names = [
+            e["args"]["name"]
+            for e in sorted(
+                (e for e in trace["traceEvents"] if e["ph"] == "M"),
+                key=lambda e: e["tid"],
+            )
+        ]
+        assert names == ["node:1", "node:2", "node:10"]
+
+
+class TestWriteTrace:
+    def test_jsonl_file(self, tmp_path):
+        path = write_trace(sample_tracer().events, tmp_path / "t.jsonl")
+        assert len(path.read_text().strip().split("\n")) == 4
+
+    def test_chrome_file_is_valid_json(self, tmp_path):
+        path = write_trace(
+            sample_tracer().events, tmp_path / "t.json", fmt="chrome"
+        )
+        payload = json.loads(path.read_text())
+        assert "traceEvents" in payload
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_trace([], tmp_path / "t", fmt="xml")

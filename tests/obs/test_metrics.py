@@ -1,0 +1,96 @@
+"""Metrics registry unit tests."""
+
+import math
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("flows_completed")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_same_name_returns_same_counter(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 2
+
+    def test_decrement_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = MetricsRegistry().gauge("utilization")
+        gauge.set(0.4)
+        gauge.set(0.9)
+        assert gauge.value == 0.9
+
+
+class TestHistogram:
+    def test_summary_percentiles(self):
+        histogram = Histogram("task_seconds")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["mean"] == pytest.approx(50.5)
+        assert summary["p50"] == 50.0
+        assert summary["p90"] == 90.0
+        assert summary["p99"] == 99.0
+
+    def test_empty_summary(self):
+        assert Histogram("x").summary() == {"count": 0}
+        assert math.isnan(Histogram("x").percentile(50))
+
+    def test_percentile_bounds_checked(self):
+        histogram = Histogram("x")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+
+class TestRegistry:
+    def test_name_collision_across_types_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("flows_completed").inc(2)
+        registry.gauge("bottleneck_utilization").set(0.8)
+        registry.histogram("task_seconds").observe(1.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["flows_completed"] == 2
+        assert snapshot["gauges"]["bottleneck_utilization"] == 0.8
+        assert snapshot["histograms"]["task_seconds"]["count"] == 1
+
+    def test_snapshot_folds_per_node_series(self):
+        registry = MetricsRegistry()
+        registry.counter("bytes_up/0").inc(100)
+        registry.counter("bytes_up/3").inc(50)
+        registry.counter("bytes_down/3").inc(75)
+        snapshot = registry.snapshot()
+        assert snapshot["per_bytes_up"] == {"0": 100, "3": 50}
+        assert snapshot["per_bytes_down"] == {"3": 75}
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("a/1").inc()
+        registry.histogram("h").observe(2.0)
+        json.dumps(registry.snapshot())

@@ -1,0 +1,77 @@
+"""Tracer unit tests: events, spans, no-op behaviour."""
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestTracer:
+    def test_instant_records_event(self):
+        tracer = Tracer()
+        tracer.instant("planner.plan", t=3.5, track="planner", bmin=7.0)
+        [event] = tracer.events
+        assert event.name == "planner.plan"
+        assert event.kind == "instant"
+        assert event.t == 3.5
+        assert event.track == "planner"
+        assert event.fields == {"bmin": 7.0}
+
+    def test_span_ids_pair_begin_and_end(self):
+        tracer = Tracer()
+        first = tracer.begin("flow", t=0.0, track="node:1")
+        second = tracer.begin("flow", t=1.0, track="node:2")
+        tracer.end("flow", t=2.0, span_id=second, track="node:2")
+        tracer.end("flow", t=3.0, span_id=first, track="node:1")
+        assert first != second
+        kinds = [event.kind for event in tracer.events]
+        assert kinds == ["begin", "begin", "end", "end"]
+        assert tracer.events[3].span_id == first
+
+    def test_wall_time_off_by_default(self):
+        tracer = Tracer()
+        tracer.instant("x", t=0.0)
+        assert tracer.events[0].wall is None
+
+    def test_wall_time_recorded_when_requested(self):
+        tracer = Tracer(record_wall=True)
+        tracer.instant("x", t=0.0)
+        assert isinstance(tracer.events[0].wall, float)
+
+    def test_counts_and_prefixes(self):
+        tracer = Tracer()
+        tracer.instant("planner.insert", t=0.0, track="planner")
+        tracer.instant("planner.insert", t=0.0, track="planner")
+        tracer.instant("flow.submit", t=0.0, track="node:0")
+        assert tracer.counts() == {"planner.insert": 2, "flow.submit": 1}
+        assert tracer.counts_by_prefix() == {"planner": 2, "flow": 1}
+
+    def test_tracks_first_seen_order(self):
+        tracer = Tracer()
+        tracer.instant("a", t=0.0, track="scheduler")
+        tracer.instant("b", t=0.0, track="node:4")
+        tracer.instant("c", t=0.0, track="scheduler")
+        assert tracer.tracks() == ["scheduler", "node:4"]
+
+    def test_to_dict_deterministic_payload(self):
+        tracer = Tracer(record_wall=True)
+        tracer.instant("x", t=1.0, track="sim", value=2)
+        payload = tracer.events[0].to_dict()
+        assert "wall" not in payload
+        assert payload == {
+            "name": "x", "kind": "instant", "t": 1.0, "track": "sim",
+            "fields": {"value": 2},
+        }
+        assert "wall" in tracer.events[0].to_dict(include_wall=True)
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        span = tracer.begin("flow", t=0.0)
+        tracer.end("flow", t=1.0, span_id=span)
+        tracer.instant("x", t=0.0)
+        assert len(tracer.events) == 0
+        assert tracer.counts() == {}
+        assert tracer.tracks() == []
+
+    def test_shared_singleton_is_disabled(self):
+        assert NULL_TRACER.enabled is False

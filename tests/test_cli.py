@@ -154,3 +154,92 @@ class TestExperimentCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["unit"] == "KiB"
         assert "32" in payload["rows"]
+
+
+class TestObservabilityFlags:
+    def test_version_flag(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_trace_writes_jsonl(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "events.jsonl"
+        code = main(
+            ["--trace", str(out), "repair", str(trace_file), "--n", "6",
+             "--k", "4", "--chunk-mib", "4"]
+        )
+        assert code == 0
+        from repro.obs import events_from_jsonl
+
+        events = events_from_jsonl(out.read_text())
+        assert events
+        names = {event.name for event in events}
+        assert "planner.plan" in names
+        assert "flow.finish" in names
+        assert f"-> {out}" in capsys.readouterr().err
+
+    def test_trace_chrome_format(self, trace_file, tmp_path):
+        out = tmp_path / "events.json"
+        code = main(
+            ["--trace", str(out), "--trace-format", "chrome", "repair",
+             str(trace_file), "--n", "6", "--k", "4", "--chunk-mib", "4"]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["traceEvents"]
+        for event in payload["traceEvents"]:
+            assert {"ph", "pid", "tid"} <= set(event)
+            if event["ph"] != "M":
+                assert "ts" in event
+
+    def test_metrics_adds_telemetry(self, trace_file, capsys):
+        code = main(
+            ["--json", "--metrics", "repair", str(trace_file), "--n", "6",
+             "--k", "4", "--chunk-mib", "4"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        telemetry = payload["schemes"]["pivot"]["telemetry"]
+        assert telemetry["counters"]["flows_completed"] == 1
+        assert telemetry["per_bytes_up"]
+
+    def test_timeline_rendered(self, trace_file, capsys):
+        code = main(
+            ["--timeline", "repair", str(trace_file), "--n", "6", "--k",
+             "4", "--chunk-mib", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "node:" in out
+
+    def test_fullnode_metrics_telemetry(self, trace_file, capsys):
+        code = main(
+            ["--json", "--metrics", "fullnode", str(trace_file), "--n", "6",
+             "--k", "4", "--stripes", "4", "--chunk-mib", "4", "--adaptive"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        telemetry = payload["schemes"]["pivot+strategy"]["telemetry"]
+        assert telemetry["counters"]["scheduler_rounds"] >= 1
+        assert (
+            telemetry["counters"]["flows_completed"] == payload["chunks"]
+        )
+
+    def test_verbose_logging_idempotent(self, trace_file, capsys):
+        import logging
+
+        for _ in range(2):
+            code = main(
+                ["-v", "repair", str(trace_file), "--n", "6", "--k", "4",
+                 "--chunk-mib", "4"]
+            )
+            assert code == 0
+        logger = logging.getLogger("repro")
+        cli_handlers = [
+            h for h in logger.handlers if getattr(h, "_repro_cli", False)
+        ]
+        assert len(cli_handlers) == 1

@@ -2,11 +2,13 @@
 
 import pytest
 
+from repro.obs import Tracer
 from repro.reporting import (
     bar_chart,
     format_mbps,
     format_seconds,
     format_table,
+    render_timeline,
     sparkline,
 )
 
@@ -85,3 +87,31 @@ class TestSparkline:
 
     def test_empty(self):
         assert sparkline([]) == ""
+
+
+class TestRenderTimeline:
+    def traced(self):
+        tracer = Tracer()
+        span = tracer.begin("flow", t=0.0, track="node:2")
+        tracer.instant("planner.plan", t=0.0, track="planner")
+        tracer.end("flow", t=4.0, span_id=span, track="node:2")
+        return tracer
+
+    def test_rows_per_track_and_active_series(self):
+        out = render_timeline(self.traced().events)
+        assert "timeline" in out
+        assert "node:2" in out
+        assert "planner" in out
+        assert "█" in out  # span bar
+        assert "·" in out  # instant mark
+        assert "active" in out
+
+    def test_empty_events(self):
+        assert render_timeline([]) == "(no events)"
+
+    def test_width_respected(self):
+        out = render_timeline(self.traced().events, width=20)
+        # Every track row fits the bar width plus label gutter and frame.
+        for line in out.splitlines()[1:]:
+            label, bars = line.split("|", 1)
+            assert len(bars.split("|")[0]) == 20
