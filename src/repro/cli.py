@@ -36,12 +36,14 @@ from repro.core import BandwidthSnapshot, PivotRepairPlanner
 from repro.core.scheduler import SchedulerConfig
 from repro.ec import RSCode, place_stripes
 from repro.exceptions import ReproError
+from repro.faults import FaultPlan, RetryPolicy
 from repro.obs import NULL_TRACER, Tracer, write_trace
 from repro.repair import (
     ExecutionConfig,
     repair_full_node,
     repair_full_node_adaptive,
     repair_single_chunk,
+    repair_single_chunk_faulted,
 )
 from repro.reporting import (
     format_mbps,
@@ -137,6 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
     repair.add_argument("--chunk-mib", type=float, default=64)
     repair.add_argument("--slice-kib", type=float, default=32)
     repair.add_argument("--seed", type=int, default=0)
+    _add_fault_args(repair)
 
     fullnode = commands.add_parser(
         "fullnode", help="simulate a full-node repair on a trace"
@@ -152,6 +155,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--adaptive", action="store_true",
         help="also run PivotRepair with the adaptive strategy",
     )
+    _add_fault_args(fullnode)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table or figure"
@@ -169,6 +173,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fig7: chunks erased from the failed node",
     )
     return parser
+
+
+def _add_fault_args(subparser) -> None:
+    subparser.add_argument(
+        "--faults", metavar="SPEC|FILE", default=None,
+        help="inject faults: a spec string like 'crash:3@5;stall:4@3+2' "
+        "(times in seconds from the start of the repair) or a JSON "
+        "fault-plan file (see docs/fault_injection.md)",
+    )
+    subparser.add_argument(
+        "--retry-policy", metavar="SPEC", default=None,
+        help="failure handling, e.g. 'timeout=0.5,retries=3,backoff=0.25x2'",
+    )
+
+
+def _parse_faults(args) -> tuple[FaultPlan | None, RetryPolicy | None]:
+    faults = None
+    if args.faults is not None:
+        path = Path(args.faults)
+        if path.exists():
+            faults = FaultPlan.from_file(path)
+        else:
+            faults = FaultPlan.from_spec(args.faults)
+    policy = None
+    if args.retry_policy is not None:
+        policy = RetryPolicy.from_spec(args.retry_policy)
+    return faults, policy
 
 
 # ----------------------------------------------------------------------
@@ -266,12 +297,33 @@ def _cmd_repair(args, tracer=NULL_TRACER) -> dict:
     config = ExecutionConfig(
         chunk_size=mib(args.chunk_mib), slice_size=kib(args.slice_kib)
     )
+    faults, policy = _parse_faults(args)
     results = {}
     for name, factory in SCHEME_FACTORIES.items():
-        result = repair_single_chunk(
-            factory(), network, requestor, survivors, args.k,
-            start_time=instant, config=config, tracer=tracer,
-        )
+        if faults is not None:
+            # Spec times are relative to the start of the repair; the
+            # simulator clock starts at the congestion instant.
+            result = repair_single_chunk_faulted(
+                factory(), network, requestor, survivors, args.k,
+                faults.shifted(instant), policy=policy,
+                start_time=instant, config=config, tracer=tracer,
+            )
+            if not result.ok:
+                results[name] = {
+                    "status": "failed",
+                    "reason": result.reason,
+                    "attempts": result.attempts,
+                    "elapsed_seconds": round(result.elapsed_seconds, 3),
+                    "bytes_transferred": result.bytes_transferred,
+                }
+                if args.metrics:
+                    results[name]["telemetry"] = result.telemetry
+                continue
+        else:
+            result = repair_single_chunk(
+                factory(), network, requestor, survivors, args.k,
+                start_time=instant, config=config, tracer=tracer,
+            )
         results[name] = {
             "planning_seconds": result.planning_seconds,
             "transfer_seconds": round(result.transfer_seconds, 3),
@@ -279,6 +331,10 @@ def _cmd_repair(args, tracer=NULL_TRACER) -> dict:
             "bmin_mbps": round(to_mbps(result.bmin), 1),
             "bytes_transferred": result.bytes_transferred,
         }
+        if faults is not None:
+            results[name]["status"] = "ok"
+            results[name]["attempts"] = result.attempts
+            results[name]["replans"] = result.replans
         if args.metrics:
             results[name]["telemetry"] = result.telemetry
     return {
@@ -301,21 +357,24 @@ def _cmd_fullnode(args, tracer=NULL_TRACER) -> dict:
     )
     failed = stripes[0].placement[0]
     config = ExecutionConfig(chunk_size=mib(args.chunk_mib))
+    faults, policy = _parse_faults(args)
     runs = {
         "rp": repair_full_node(
             RPPlanner(), network, stripes, failed,
             concurrency=args.concurrency, config=config, tracer=tracer,
+            faults=faults, retry_policy=policy,
         ),
         "pivot": repair_full_node(
             PivotRepairPlanner(), network, stripes, failed,
             concurrency=args.concurrency, config=config, tracer=tracer,
+            faults=faults, retry_policy=policy,
         ),
     }
     if args.adaptive:
         runs["pivot+strategy"] = repair_full_node_adaptive(
             PivotRepairPlanner(), network, stripes, failed,
             scheduler=SchedulerConfig(threshold=10.0), config=config,
-            tracer=tracer,
+            tracer=tracer, faults=faults, retry_policy=policy,
         )
     schemes = {}
     for name, result in runs.items():
@@ -324,6 +383,11 @@ def _cmd_fullnode(args, tracer=NULL_TRACER) -> dict:
             "mean_task_seconds": round(result.mean_task_seconds, 2),
             "bytes_transferred": result.bytes_transferred,
         }
+        if faults is not None:
+            counters = (result.telemetry or {}).get("counters", {})
+            schemes[name]["chunks_repaired"] = result.chunks_repaired
+            schemes[name]["chunks_failed"] = result.chunks_failed
+            schemes[name]["replans"] = int(counters.get("replans", 0))
         if args.metrics:
             schemes[name]["telemetry"] = result.telemetry
     return {
@@ -439,16 +503,25 @@ def _render(args, payload: dict) -> str:
             lines.append(payload["tree"])
         return "\n".join(lines)
     if args.command == "repair":
-        rows = [
-            (
-                name,
-                format_mbps(values["bmin_mbps"] * 125_000),
-                format_seconds(values["planning_seconds"]),
-                format_seconds(values["transfer_seconds"]),
-                format_seconds(values["total_seconds"]),
+        rows = []
+        for name, values in payload["schemes"].items():
+            if values.get("status") == "failed":
+                rows.append(
+                    (name, "-", "-", "-", f"FAILED: {values['reason']}")
+                )
+                continue
+            total = format_seconds(values["total_seconds"])
+            if values.get("replans"):
+                total += f" ({values['replans']} replans)"
+            rows.append(
+                (
+                    name,
+                    format_mbps(values["bmin_mbps"] * 125_000),
+                    format_seconds(values["planning_seconds"]),
+                    format_seconds(values["transfer_seconds"]),
+                    total,
+                )
             )
-            for name, values in payload["schemes"].items()
-        ]
         header = (
             f"single-chunk repair on {payload['trace']} at "
             f"t={payload['instant']:.0f}s, (n,k)=({payload['n']},"
@@ -459,15 +532,24 @@ def _render(args, payload: dict) -> str:
         )
         return header + "\n" + table + _metrics_block(args, payload)
     if args.command == "fullnode":
-        rows = [
-            (name, f"{v['total_seconds']} s", f"{v['mean_task_seconds']} s")
-            for name, v in payload["schemes"].items()
-        ]
+        rows = []
+        for name, v in payload["schemes"].items():
+            row = (
+                name, f"{v['total_seconds']} s", f"{v['mean_task_seconds']} s"
+            )
+            if "replans" in v:
+                row += (
+                    f"{v['replans']} replans, {v['chunks_failed']} failed",
+                )
+            rows.append(row)
         header = (
             f"full-node repair on {payload['trace']}: node "
             f"{payload['failed_node']}, {payload['chunks']} chunks"
         )
-        table = format_table(["scheme", "total", "mean/task"], rows)
+        columns = ["scheme", "total", "mean/task"]
+        if rows and len(rows[0]) == 4:
+            columns.append("faults")
+        table = format_table(columns, rows)
         return header + "\n" + table + _metrics_block(args, payload)
     if args.command == "experiment":
         return json.dumps(payload, indent=2)

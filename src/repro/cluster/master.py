@@ -93,8 +93,12 @@ class Cluster:
     # ------------------------------------------------------------------
     # Failure injection
     # ------------------------------------------------------------------
-    def fail_node(self, node_id: int) -> list[ChunkId]:
-        """Crash a node; returns the chunk ids that became unavailable."""
+    def fail_node(self, node_id: int, at: float = 0.0) -> list[ChunkId]:
+        """Crash a node; returns the chunk ids that became unavailable.
+
+        ``at`` stamps the trace event with the (simulated) failure time so
+        fault-injected runs line up with the simulator's clock.
+        """
         node = self._node(node_id)
         if not node.alive:
             raise ClusterError(f"node {node_id} is already down")
@@ -102,7 +106,7 @@ class Cluster:
         node.fail()
         if self.tracer.enabled:
             self.tracer.instant(
-                "master.fail_node", t=0.0, track="master",
+                "master.fail_node", t=at, track="master",
                 node=node_id, lost_chunks=len(lost),
             )
         return lost
@@ -140,6 +144,23 @@ class Cluster:
         ]
         with planner.traced(self.tracer):
             plan = planner.plan(snapshot, requestor, candidates, self.code.k)
+        payload = self.rebuild_from_plan(stripe, lost_index, plan)
+        self.adopt_repair(
+            stripe, lost_index, requestor, payload, at=snapshot.time,
+            scheme=plan.scheme, helpers=plan.helpers,
+        )
+        return plan, payload
+
+    def rebuild_from_plan(
+        self, stripe: Stripe, lost_index: int, plan: RepairPlan
+    ) -> np.ndarray:
+        """Execute an existing plan's data path and return the payload.
+
+        Decouples the byte-accurate reconstruction from planning so
+        fault-aware callers (which may re-plan mid-repair against a
+        different helper set) can verify any tree they ended up with.
+        Nothing is stored or relocated — see :meth:`adopt_repair`.
+        """
         helper_indices = [
             stripe.chunk_on_node(node) for node in sorted(plan.helpers)
         ]
@@ -151,20 +172,29 @@ class Cluster:
             for node in plan.helpers
         }
         if plan.is_pipelined:
-            payload = self._aggregate_tree(plan, stripe, by_node)
-        else:
-            payload = self._aggregate_staged(plan, stripe, by_node)
-        rebuilt_id = stripe.chunk_id(lost_index)
-        self._node(requestor).store(rebuilt_id, payload)
+            return self._aggregate_tree(plan, stripe, by_node)
+        return self._aggregate_staged(plan, stripe, by_node)
+
+    def adopt_repair(
+        self,
+        stripe: Stripe,
+        lost_index: int,
+        requestor: int,
+        payload: np.ndarray,
+        at: float = 0.0,
+        scheme: str | None = None,
+        helpers: Sequence[int] | None = None,
+    ) -> None:
+        """Store a rebuilt chunk on the requestor and update placement."""
+        self._node(requestor).store(stripe.chunk_id(lost_index), payload)
         stripe.relocate(lost_index, requestor)
         if self.tracer.enabled:
             self.tracer.instant(
-                "master.repair_chunk", t=snapshot.time, track="master",
+                "master.repair_chunk", t=at, track="master",
                 stripe=stripe.stripe_id, lost_index=lost_index,
-                requestor=requestor, scheme=plan.scheme,
-                helpers=sorted(plan.helpers),
+                requestor=requestor, scheme=scheme,
+                helpers=sorted(helpers) if helpers is not None else None,
             )
-        return plan, payload
 
     def repair_stripe(
         self,

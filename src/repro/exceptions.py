@@ -41,3 +41,7 @@ class TraceError(ReproError):
 
 class ClusterError(ReproError):
     """Invalid cluster operation (placement, failure injection, repair)."""
+
+
+class FaultError(ReproError):
+    """A fault-injection plan or spec is malformed or inconsistent."""

@@ -1,0 +1,83 @@
+"""Failure detection and retry policy for fault-aware executors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import FaultError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How an executor reacts when a repair task stops making progress.
+
+    A helper crash (or chunk-read error) on a task's tree is *detected*
+    ``detection_timeout`` simulated seconds after it happens — the
+    heartbeat/RPC-timeout latency of a real system.  A task whose transfer
+    rate sits at zero for ``detection_timeout`` (a stalled helper, a
+    congestion-collapsed link) is declared failed too, so a repair can
+    never hang.  Each retry waits an exponential backoff
+    (``backoff_base * backoff_factor**retry``) before re-planning;
+    ``max_retries`` bounds the number of re-plans before the repair
+    aborts with a ``RepairFailed`` result.
+    """
+
+    detection_timeout: float = 0.5
+    max_retries: int = 3
+    backoff_base: float = 0.25
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.detection_timeout < 0:
+            raise FaultError("detection_timeout cannot be negative")
+        if self.max_retries < 0:
+            raise FaultError("max_retries cannot be negative")
+        if self.backoff_base < 0:
+            raise FaultError("backoff_base cannot be negative")
+        if self.backoff_factor < 1.0:
+            raise FaultError("backoff_factor must be >= 1")
+
+    def backoff(self, retry: int) -> float:
+        """Seconds to wait before retry number ``retry`` (0-based)."""
+        if retry < 0:
+            raise FaultError(f"retry index {retry} is negative")
+        return self.backoff_base * self.backoff_factor**retry
+
+    @classmethod
+    def from_spec(cls, spec: str) -> RetryPolicy:
+        """Parse ``timeout=0.5,retries=3,backoff=0.25x2``.
+
+        Every key is optional; omitted keys keep their defaults.
+        """
+        kwargs: dict[str, float | int] = {}
+        for raw in spec.split(","):
+            entry = raw.strip()
+            if not entry:
+                continue
+            try:
+                key, value = entry.split("=", 1)
+            except ValueError:
+                raise FaultError(
+                    f"malformed retry-policy entry {entry!r}"
+                ) from None
+            try:
+                if key == "timeout":
+                    kwargs["detection_timeout"] = float(value)
+                elif key == "retries":
+                    kwargs["max_retries"] = int(value)
+                elif key == "backoff":
+                    if "x" in value:
+                        base, factor = value.split("x", 1)
+                        kwargs["backoff_base"] = float(base)
+                        kwargs["backoff_factor"] = float(factor)
+                    else:
+                        kwargs["backoff_base"] = float(value)
+                else:
+                    raise FaultError(f"unknown retry-policy key {key!r}")
+            except ValueError:
+                raise FaultError(
+                    f"malformed retry-policy value {entry!r}"
+                ) from None
+        return cls(**kwargs)

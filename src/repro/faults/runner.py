@@ -1,0 +1,138 @@
+"""Chaos harness: faulted single-chunk repair with byte verification.
+
+Glues the two halves of the stack together the way the chaos tests (and
+the CLI's ``--faults`` mode) need them: the *timing* half — the
+fault-aware executor retrying and re-planning on the fluid simulator —
+and the *correctness* half — the byte-accurate :class:`~repro.cluster.
+master.Cluster` aggregation, which executes whatever tree the final
+attempt settled on and checks the payload against an independent
+erasure-code decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.master import Cluster
+from repro.core.algorithm import PivotRepairPlanner
+from repro.core.bandwidth_view import BandwidthSnapshot
+from repro.core.plan import RepairPlanner
+from repro.ec.stripe import Stripe
+from repro.exceptions import ClusterError
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.network.topology import StarNetwork
+from repro.obs.tracer import NULL_TRACER
+from repro.repair.executor import repair_single_chunk_faulted
+from repro.repair.fullnode import choose_requestor
+from repro.repair.metrics import RepairFailed, RepairResult
+from repro.repair.pipeline import ExecutionConfig
+
+__all__ = ["ChaosOutcome", "run_chaos_single_chunk"]
+
+
+class ChaosOutcome:
+    """What one chaos run produced: a timing result plus verified bytes.
+
+    ``result`` is the executor's :class:`RepairResult` or
+    :class:`RepairFailed`.  On success ``payload`` holds the bytes the
+    final repair tree reconstructed and ``correct`` says whether they
+    match an independent decode of the stripe; on failure both stay
+    ``None`` — a failed repair must deliver *no* data, not short data.
+    """
+
+    def __init__(
+        self,
+        result: RepairResult | RepairFailed,
+        payload: np.ndarray | None = None,
+        correct: bool | None = None,
+    ):
+        self.result = result
+        self.payload = payload
+        self.correct = correct
+
+    @property
+    def ok(self) -> bool:
+        return self.result.ok
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosOutcome(ok={self.ok}, correct={self.correct}, "
+            f"attempts={self.result.attempts})"
+        )
+
+
+def _expected_payload(
+    cluster: Cluster, stripe: Stripe, lost_index: int
+) -> np.ndarray:
+    """Ground truth via an independent decode from k surviving chunks."""
+    holders = [
+        node
+        for index, node in enumerate(stripe.placement)
+        if index != lost_index and cluster.nodes[node].alive
+    ]
+    if len(holders) < cluster.code.k:
+        raise ClusterError(
+            f"stripe {stripe.stripe_id}: cannot decode ground truth, "
+            f"only {len(holders)} chunks survive"
+        )
+    available = {
+        stripe.chunk_on_node(node): cluster.nodes[node].read(
+            stripe.chunk_id(stripe.chunk_on_node(node))
+        )
+        for node in holders[: cluster.code.k]
+    }
+    data = cluster.code.decode(available)
+    return cluster.code.encode(data)[lost_index]
+
+
+def run_chaos_single_chunk(
+    cluster: Cluster,
+    network: StarNetwork,
+    stripe: Stripe,
+    lost_index: int,
+    faults: FaultPlan,
+    policy: RetryPolicy | None = None,
+    planner: RepairPlanner | None = None,
+    config: ExecutionConfig | None = None,
+    tracer=NULL_TRACER,
+) -> ChaosOutcome:
+    """Repair one lost chunk under a fault plan; verify the bytes.
+
+    The holder of ``lost_index`` is crashed (if it still lives), the
+    fault-aware executor runs the repair on the simulator, and — when it
+    completes — the *final* plan's tree is executed byte-accurately
+    through the cluster and compared against an independent decode.  The
+    contract the chaos tests pin down: the outcome is either a completed
+    repair with ``correct=True`` or a clean :class:`RepairFailed`; never
+    a hang, never silently short data.
+    """
+    planner = planner or PivotRepairPlanner()
+    failed_node = stripe.placement[lost_index]
+    expected = _expected_payload(cluster, stripe, lost_index)
+    if cluster.nodes[failed_node].alive:
+        cluster.fail_node(failed_node, at=0.0)
+    snapshot = BandwidthSnapshot.from_network(network, 0.0)
+    requestor = choose_requestor(
+        snapshot, stripe, failed_node, cluster.node_count,
+        exclude=faults.dead_nodes(0.0),
+    )
+    candidates = [
+        node
+        for node in stripe.surviving_nodes(failed_node)
+        if cluster.nodes[node].alive
+    ]
+    result = repair_single_chunk_faulted(
+        planner, network, requestor, candidates, cluster.code.k,
+        faults, policy=policy, config=config, tracer=tracer,
+    )
+    if not result.ok:
+        return ChaosOutcome(result)
+    payload = cluster.rebuild_from_plan(stripe, lost_index, result.plan)
+    correct = bool(np.array_equal(payload, expected))
+    cluster.adopt_repair(
+        stripe, lost_index, requestor, payload,
+        at=result.transfer_seconds, scheme=result.scheme,
+        helpers=result.plan.helpers,
+    )
+    return ChaosOutcome(result, payload=payload, correct=correct)

@@ -44,6 +44,7 @@ class SimulatorStats:
     rate_recomputations: int = 0
     tasks_submitted: int = 0
     tasks_completed: int = 0
+    tasks_cancelled: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -51,6 +52,7 @@ class SimulatorStats:
             "rate_recomputations": self.rate_recomputations,
             "tasks_submitted": self.tasks_submitted,
             "tasks_completed": self.tasks_completed,
+            "tasks_cancelled": self.tasks_cancelled,
         }
 
 
@@ -62,6 +64,7 @@ class TaskHandle:
     label: str
     submit_time: float
     finish_time: float | None = None
+    cancelled: bool = False
 
     @property
     def done(self) -> bool:
@@ -280,6 +283,49 @@ class FluidSimulator:
                     )
                 # Rack-level resources are not per-node usage.
         return up, down
+
+    # ------------------------------------------------------------------
+    # Cancellation
+    # ------------------------------------------------------------------
+    def cancel_task(self, handle: TaskHandle) -> float:
+        """Kill a task's remaining flows (e.g. its tree lost a node).
+
+        Bytes the task already moved stay counted in ``bytes_up`` /
+        ``bytes_down`` — they really crossed the links — but the task
+        never completes and its handle is marked ``cancelled``.  Returns
+        the bytes left uncarried at cancellation time (summed over the
+        task's live entities).
+        """
+        if handle.done:
+            raise SimulationError(
+                f"cannot cancel finished task {handle.label!r}"
+            )
+        if handle.cancelled:
+            raise SimulationError(
+                f"task {handle.label!r} is already cancelled"
+            )
+        entity_ids = self._task_entities.get(handle.task_id, set())
+        remaining = 0.0
+        for entity_id in sorted(entity_ids):
+            remaining += self._entities.pop(entity_id).remaining
+        entity_ids.clear()
+        handle.cancelled = True
+        self.stats.tasks_cancelled += 1
+        self._rates_valid = False
+        if self.tracer.enabled:
+            track = self._task_tracks.pop(handle.task_id, "sim")
+            self._task_rates.pop(handle.task_id, None)
+            span_id = self._task_spans.pop(handle.task_id, None)
+            self.tracer.instant(
+                "flow.cancel", t=self.now, track=track,
+                label=handle.label, bytes_remaining=remaining,
+            )
+            if span_id is not None:
+                self.tracer.end(
+                    "flow", t=self.now, span_id=span_id, track=track,
+                    cancelled=True,
+                )
+        return remaining
 
     # ------------------------------------------------------------------
     # Time advancement

@@ -1,12 +1,16 @@
 """Repair execution: pipelined timing, executors, full-node orchestration."""
 
-from repro.repair.executor import execute_plan, repair_single_chunk
+from repro.repair.executor import (
+    execute_plan,
+    repair_single_chunk,
+    repair_single_chunk_faulted,
+)
 from repro.repair.fullnode import (
     choose_requestor,
     repair_full_node,
     repair_full_node_adaptive,
 )
-from repro.repair.metrics import FullNodeResult, RepairResult
+from repro.repair.metrics import FullNodeResult, RepairFailed, RepairResult
 from repro.repair.multichunk import (
     MultiChunkPlan,
     execute_multi_chunk,
@@ -25,6 +29,7 @@ __all__ = [
     "ExecutionConfig",
     "FullNodeResult",
     "MultiChunkPlan",
+    "RepairFailed",
     "RepairResult",
     "execute_multi_chunk",
     "fluid_estimate",
@@ -39,4 +44,5 @@ __all__ = [
     "repair_full_node",
     "repair_full_node_adaptive",
     "repair_single_chunk",
+    "repair_single_chunk_faulted",
 ]

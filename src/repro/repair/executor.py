@@ -1,17 +1,36 @@
-"""Execute repair plans on the fluid network simulator."""
+"""Execute repair plans on the fluid network simulator.
+
+Two execution modes:
+
+* the fault-free path (:func:`execute_plan`, :func:`repair_single_chunk`)
+  runs a plan to clean completion;
+* the fault-aware path (:func:`repair_single_chunk_faulted`) threads a
+  :class:`~repro.faults.plan.FaultPlan` through the run — helpers can
+  crash, stall, or lose their chunk mid-transfer, and the executor
+  detects the failure (after the policy's timeout), cancels the flow,
+  re-plans over the survivors, and retries with backoff until the repair
+  completes or cleanly aborts with a
+  :class:`~repro.repair.metrics.RepairFailed` result.
+"""
 
 from __future__ import annotations
 
 import logging
 from collections.abc import Sequence
+from dataclasses import dataclass
 
 from repro.core.bandwidth_view import BandwidthSnapshot
 from repro.core.plan import RepairPlan, RepairPlanner
-from repro.exceptions import PlanningError
-from repro.network.simulator import FluidSimulator
+from repro.exceptions import PlanningError, SimulationError
+from repro.faults.injector import FaultInjector
+from repro.faults.network import FaultyNetwork
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.network.simulator import FluidSimulator, TaskHandle
 from repro.network.topology import StarNetwork
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
-from repro.repair.metrics import RepairResult
+from repro.repair.metrics import RepairFailed, RepairResult
 from repro.repair.pipeline import (
     ExecutionConfig,
     pipeline_bytes_per_edge,
@@ -124,3 +143,228 @@ def repair_single_chunk(
     return execute_plan(
         plan, network, start_time=start_time, config=config, tracer=tracer
     )
+
+
+# ----------------------------------------------------------------------
+# Fault-aware execution
+# ----------------------------------------------------------------------
+@dataclass
+class _Failure:
+    """Why a running attempt stopped making progress."""
+
+    kind: str  # "crash" | "readerr" | "stall" | "stuck"
+    nodes: list[int]
+    time: float
+
+
+def _drive_attempt(
+    sim: FluidSimulator,
+    handle: TaskHandle,
+    tree_nodes: set[int],
+    faults: FaultPlan,
+    policy: RetryPolicy,
+) -> _Failure | None:
+    """Advance the simulation until ``handle`` finishes or fails.
+
+    Failure means: a tree node died or lost its chunk, or the task's
+    rate sat at zero for ``detection_timeout`` (stalled helper, collapsed
+    link).  The loop bounds every advance by the next fault event so a
+    crash can never strand the fluid model in a zero-rate stuck state.
+    Returns ``None`` on completion, else the detected :class:`_Failure`.
+    """
+    stalled_since: float | None = None
+    while not handle.done:
+        now = sim.now
+        dead = sorted(n for n in tree_nodes if faults.is_dead(n, now))
+        bad = sorted(
+            n for n in tree_nodes
+            if faults.chunk_unreadable(n, now) and n not in dead
+        )
+        if dead or bad:
+            kind = "crash" if dead else "readerr"
+            return _Failure(kind=kind, nodes=dead + bad, time=now)
+        bound = min(
+            faults.next_failure_affecting(tree_nodes, now),
+            faults.next_change_after(now),
+        )
+        if sim.current_rate(handle) <= 1e-12:
+            if stalled_since is None:
+                stalled_since = now
+            deadline = stalled_since + policy.detection_timeout
+            if now >= deadline:
+                culprits = sorted(
+                    n for n in tree_nodes
+                    if faults.capacity_factor(n, "up", now) == 0.0
+                    or faults.capacity_factor(n, "down", now) == 0.0
+                )
+                return _Failure(kind="stall", nodes=culprits, time=now)
+            bound = min(bound, deadline)
+        else:
+            stalled_since = None
+        try:
+            sim.run_until_completion(max_time=bound)
+        except SimulationError:
+            # Zero-rate with no future capacity change: treat as a stall
+            # detected on the spot rather than crashing the run.
+            return _Failure(kind="stuck", nodes=[], time=sim.now)
+    return None
+
+
+def repair_single_chunk_faulted(
+    planner: RepairPlanner,
+    network,
+    requestor: int,
+    candidates: Sequence[int],
+    k: int,
+    faults: FaultPlan,
+    policy: RetryPolicy | None = None,
+    start_time: float = 0.0,
+    config: ExecutionConfig | None = None,
+    tracer=NULL_TRACER,
+) -> RepairResult | RepairFailed:
+    """Single-chunk repair under an injected fault plan.
+
+    The repair plans over the helpers alive *now*, executes on the
+    fault-mutated network, and reacts to failures mid-transfer: detection
+    after ``policy.detection_timeout``, flow cancellation, exponential
+    backoff, and a re-plan over the surviving helpers (a traced
+    ``repair.replan``).  Completes with a normal :class:`RepairResult`
+    (``attempts`` > 1 when it had to re-plan) or aborts with
+    :class:`RepairFailed` — it never hangs and never returns short data.
+
+    ``bytes_transferred`` is taken from the simulator's fluid accounting,
+    so bytes a cancelled attempt already moved are counted exactly once —
+    a restarted flow does not double-count its chunk.
+    """
+    policy = policy or RetryPolicy()
+    config = config or ExecutionConfig()
+    net = FaultyNetwork.wrap(network, faults)
+    sim = FluidSimulator(net, start_time=start_time, tracer=tracer)
+    registry = MetricsRegistry()
+    injector = FaultInjector(faults, tracer=tracer, registry=registry)
+    candidates = list(candidates)
+    attempts = 0
+    planning_total = 0.0
+    plan: RepairPlan | None = None
+
+    def failed(reason: str) -> RepairFailed:
+        registry.counter("repairs_failed").inc()
+        if tracer.enabled:
+            tracer.instant(
+                "repair.failed", t=sim.now, track="executor",
+                scheme=planner.name, reason=reason, attempts=attempts,
+            )
+        logger.warning("repair failed after %d attempts: %s", attempts, reason)
+        return RepairFailed(
+            scheme=planner.name,
+            reason=reason,
+            elapsed_seconds=sim.now - start_time,
+            attempts=attempts,
+            bytes_transferred=sim.total_bytes_transferred,
+            telemetry=registry_from_run(sim, tracer, registry).snapshot(),
+        )
+
+    with planner.traced(tracer):
+        while True:
+            now = sim.now
+            injector.announce_until(now)
+            if faults.is_dead(requestor, now):
+                return failed(f"requestor {requestor} crashed")
+            alive = [
+                node for node in candidates
+                if not faults.is_dead(node, now)
+                and not faults.chunk_unreadable(node, now)
+            ]
+            if len(alive) < k:
+                return failed(
+                    f"only {len(alive)} of {len(candidates)} helpers "
+                    f"survive, need k={k}"
+                )
+            # Prefer helpers that are not frozen right now, when enough
+            # healthy ones remain — a plan through a stalled node would
+            # only stall again.
+            stalled = faults.stalled_nodes(now)
+            usable = [node for node in alive if node not in stalled]
+            if len(usable) < k:
+                usable = alive
+            snapshot = BandwidthSnapshot.from_network(net, now)
+            try:
+                plan = planner.plan(snapshot, requestor, usable, k)
+            except PlanningError as error:
+                return failed(f"planning failed: {error}")
+            planning_total += plan.planning_seconds
+            if attempts > 0:
+                registry.counter("replans").inc()
+                if tracer.enabled:
+                    tracer.instant(
+                        "repair.replan", t=now, track="executor",
+                        attempt=attempts + 1, scheme=plan.scheme,
+                        helpers=sorted(plan.helpers), bmin=plan.bmin,
+                    )
+            attempts += 1
+            if not plan.is_pipelined:
+                raise PlanningError(
+                    "fault-aware execution supports pipelined plans only"
+                )
+            tree = plan.tree
+            handle = sim.submit_pipelined(
+                tree.edges(),
+                pipeline_bytes_per_edge(config, tree.depth()),
+                label=f"{plan.scheme}-a{attempts}",
+            )
+            tree_nodes = {tree.root, *tree.helpers}
+            failure = _drive_attempt(sim, handle, tree_nodes, faults, policy)
+            injector.announce_until(sim.now)
+            if failure is None:
+                transfer = (
+                    sim.now - start_time + pipeline_overhead_seconds(config)
+                )
+                registry.gauge("planner_seconds").set(planning_total)
+                registry.histogram("task_seconds").observe(transfer)
+                return RepairResult(
+                    scheme=plan.scheme,
+                    planning_seconds=planning_total,
+                    transfer_seconds=transfer,
+                    bmin=plan.bmin,
+                    plan=plan,
+                    bytes_transferred=sim.total_bytes_transferred,
+                    telemetry=registry_from_run(
+                        sim, tracer, registry
+                    ).snapshot(),
+                    attempts=attempts,
+                )
+            # Detection latency: the failure is noticed one timeout after
+            # it happened (or immediately for a stall, whose detection
+            # already waited the timeout inside the drive loop).
+            if failure.kind in ("crash", "readerr"):
+                sim.advance_to(
+                    max(sim.now, failure.time + policy.detection_timeout)
+                )
+            registry.counter("fault_detections").inc()
+            if tracer.enabled:
+                tracer.instant(
+                    "repair.detect", t=sim.now, track="executor",
+                    kind=failure.kind, nodes=failure.nodes,
+                    attempt=attempts,
+                )
+            # A read error leaves link capacity intact, so the doomed flow
+            # may have "completed" (delivering garbage) inside the
+            # detection window — there is nothing left to cancel then, but
+            # the attempt still failed and must be re-planned.
+            if not handle.done:
+                sim.cancel_task(handle)
+                registry.counter("flows_cancelled").inc()
+            if attempts > policy.max_retries:
+                return failed(
+                    f"retry budget exhausted after {attempts} attempts "
+                    f"(last failure: {failure.kind})"
+                )
+            backoff = policy.backoff(attempts - 1)
+            registry.counter("retries").inc()
+            if tracer.enabled:
+                tracer.instant(
+                    "repair.retry", t=sim.now, track="executor",
+                    attempt=attempts, backoff=backoff,
+                )
+            if backoff > 0:
+                sim.advance_to(sim.now + backoff)

@@ -21,8 +21,9 @@ large k in Figure 7.
 from __future__ import annotations
 
 import logging
+import math
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.bandwidth_view import BandwidthSnapshot
 from repro.core.plan import RepairPlan, RepairPlanner
@@ -32,12 +33,16 @@ from repro.core.scheduler import (
     recommendation_value,
 )
 from repro.ec.stripe import Stripe
-from repro.exceptions import ClusterError
+from repro.exceptions import ClusterError, PlanningError
+from repro.faults.injector import FaultInjector
+from repro.faults.network import FaultyNetwork
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
 from repro.network.simulator import FluidSimulator, TaskHandle
 from repro.network.topology import StarNetwork
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
-from repro.repair.metrics import FullNodeResult, RepairResult
+from repro.repair.metrics import FullNodeResult, RepairFailed, RepairResult
 from repro.repair.pipeline import ExecutionConfig, pipeline_bytes_per_edge
 from repro.repair.telemetry import registry_from_run
 
@@ -49,13 +54,18 @@ def choose_requestor(
     stripe: Stripe,
     failed_node: int,
     node_count: int,
+    exclude: frozenset[int] | set[int] = frozenset(),
 ) -> int:
-    """Requestor = max-downlink node not already holding a stripe chunk."""
+    """Requestor = max-downlink node not already holding a stripe chunk.
+
+    ``exclude`` removes nodes that cannot serve (crashed under a fault
+    plan).
+    """
     holders = set(stripe.surviving_nodes(failed_node))
     outside = [
         node
         for node in range(node_count)
-        if node != failed_node and node not in holders
+        if node != failed_node and node not in holders and node not in exclude
     ]
     if not outside:
         raise ClusterError(
@@ -69,6 +79,8 @@ class _InFlight:
     handle: TaskHandle
     plan: RepairPlan
     running: RunningTask
+    stripe: Stripe | None = None
+    tree_nodes: frozenset[int] = field(default_factory=frozenset)
 
 
 def residual_snapshot(
@@ -99,12 +111,31 @@ def _plan_stripe(
     sim: FluidSimulator,
     stripe: Stripe,
     failed_node: int,
+    faults: FaultPlan | None = None,
 ) -> RepairPlan:
     snapshot = residual_snapshot(network, sim)
-    requestor = choose_requestor(snapshot, stripe, failed_node, len(network))
-    candidates = stripe.surviving_nodes(failed_node)
+    unusable: set[int] = set()
+    if faults is not None and faults:
+        unusable = faults.dead_nodes(sim.now) | faults.unreadable_nodes(
+            sim.now
+        )
+    requestor = choose_requestor(
+        snapshot, stripe, failed_node, len(network),
+        exclude=(faults.dead_nodes(sim.now) if faults else frozenset()),
+    )
+    candidates = [
+        node
+        for node in stripe.surviving_nodes(failed_node)
+        if node not in unusable
+    ]
+    if len(candidates) < stripe.code.k:
+        raise ClusterError(
+            f"stripe {stripe.stripe_id}: only {len(candidates)} helpers "
+            f"survive, need k={stripe.code.k}"
+        )
     plan = planner.plan(snapshot, requestor, candidates, stripe.code.k)
     plan.notes["stripe_id"] = stripe.stripe_id
+    plan.notes["planned_at"] = sim.now
     return plan
 
 
@@ -112,6 +143,7 @@ def _submit(
     sim: FluidSimulator,
     plan: RepairPlan,
     config: ExecutionConfig,
+    stripe: Stripe | None = None,
 ) -> _InFlight:
     if not plan.is_pipelined:
         raise ClusterError(
@@ -126,7 +158,10 @@ def _submit(
     running = RunningTask(
         tree=tree, start_time=sim.now, expected_seconds=expected
     )
-    return _InFlight(handle=handle, plan=plan, running=running)
+    return _InFlight(
+        handle=handle, plan=plan, running=running, stripe=stripe,
+        tree_nodes=frozenset({tree.root, *tree.helpers}),
+    )
 
 
 def _collect(
@@ -167,6 +202,133 @@ def _run_telemetry(
     return registry_from_run(sim, tracer, registry=registry).snapshot()
 
 
+class _FaultDriver:
+    """Fault handling shared by the full-node orchestrators.
+
+    Watches the fault plan as simulated time advances: announces events,
+    cancels in-flight repairs whose tree lost a node (after the policy's
+    detection timeout), requeues their stripes for re-planning, and
+    records stripes that became unrepairable as clean
+    :class:`RepairFailed` entries.  With an empty plan every method is a
+    cheap no-op, so the fault-free paths behave exactly as before.
+    """
+
+    def __init__(
+        self,
+        faults: FaultPlan | None,
+        policy: RetryPolicy | None,
+        sim: FluidSimulator,
+        scheme: str,
+        tracer,
+        registry: MetricsRegistry,
+    ):
+        self.faults = faults if faults is not None else FaultPlan.none()
+        self.policy = policy or RetryPolicy()
+        self.sim = sim
+        self.scheme = scheme
+        self.tracer = tracer
+        self.registry = registry
+        self.active = bool(self.faults)
+        self.injector = FaultInjector(self.faults, tracer, registry)
+        self.requeued_ids: set[int] = set()
+        self.failures: list[RepairFailed] = []
+        self.start_time = sim.now
+
+    def tick(
+        self,
+        in_flight: dict[int, _InFlight],
+        pending: list[Stripe],
+        collect,
+    ) -> None:
+        """Cancel flights doomed by faults at the current time; requeue."""
+        if not self.active:
+            return
+        self.injector.announce_until(self.sim.now)
+        unusable = self.faults.dead_nodes(self.sim.now)
+        unusable |= self.faults.unreadable_nodes(self.sim.now)
+        if not unusable:
+            return
+        doomed = [
+            task_id
+            for task_id, flight in in_flight.items()
+            if flight.tree_nodes & unusable
+        ]
+        if not doomed:
+            return
+        # Detection latency: healthy flights keep transferring while the
+        # Master notices the failure.
+        done = self.sim.advance_to(
+            self.sim.now + self.policy.detection_timeout
+        )
+        collect(done)
+        self.injector.announce_until(self.sim.now)
+        for task_id in doomed:
+            flight = in_flight.pop(task_id, None)
+            if flight is None:  # finished inside the detection window
+                continue
+            lost = sorted(flight.tree_nodes & unusable)
+            self.sim.cancel_task(flight.handle)
+            self.registry.counter("flows_cancelled").inc()
+            self.registry.counter("fault_detections").inc()
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "repair.detect", t=self.sim.now, track="executor",
+                    stripe=flight.plan.notes.get("stripe_id"),
+                    nodes=lost, kind="crash",
+                )
+            if flight.stripe is not None:
+                pending.append(flight.stripe)
+                self.requeued_ids.add(flight.stripe.stripe_id)
+
+    def note_started(self, stripe: Stripe, plan: RepairPlan) -> None:
+        """Count a re-plan when a previously killed stripe restarts."""
+        if stripe.stripe_id not in self.requeued_ids:
+            return
+        self.requeued_ids.discard(stripe.stripe_id)
+        self.registry.counter("replans").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "repair.replan", t=self.sim.now, track="executor",
+                stripe=stripe.stripe_id, requestor=plan.requestor,
+                helpers=sorted(plan.helpers), bmin=plan.bmin,
+            )
+
+    def abort_stripe(self, stripe: Stripe, reason: str) -> None:
+        """Record a stripe that can no longer be repaired."""
+        self.requeued_ids.discard(stripe.stripe_id)
+        self.registry.counter("repairs_failed").inc()
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "repair.failed", t=self.sim.now, track="executor",
+                stripe=stripe.stripe_id, reason=reason,
+            )
+        logger.warning(
+            "stripe %d unrepairable: %s", stripe.stripe_id, reason
+        )
+        self.failures.append(
+            RepairFailed(
+                scheme=self.scheme,
+                reason=reason,
+                elapsed_seconds=self.sim.now - self.start_time,
+                stripe_id=stripe.stripe_id,
+            )
+        )
+
+    def run_bound(self, in_flight: dict[int, _InFlight]) -> float:
+        """Latest time the simulator may free-run to before a fault check."""
+        if not self.active:
+            return math.inf
+        return min(
+            (
+                self.faults.next_failure_affecting(
+                    flight.tree_nodes, self.sim.now
+                )
+                for flight in in_flight.values()
+            ),
+            default=math.inf,
+        )
+
+
 def repair_full_node(
     planner: RepairPlanner,
     network: StarNetwork,
@@ -176,11 +338,14 @@ def repair_full_node(
     config: ExecutionConfig | None = None,
     start_time: float = 0.0,
     tracer=NULL_TRACER,
+    faults: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> FullNodeResult:
     """Fixed-concurrency full-node repair (the non-adaptive orchestrator)."""
     if concurrency < 1:
         raise ClusterError("concurrency must be >= 1")
     config = config or ExecutionConfig()
+    network = FaultyNetwork.wrap(network, faults)
     stripes = _stripes_to_repair(stripes, failed_node)
     logger.info(
         "full-node repair (%s): node %d, %d stripes, concurrency %d",
@@ -191,29 +356,50 @@ def repair_full_node(
     pending = list(stripes)
     in_flight: dict[int, _InFlight] = {}
     results: list[RepairResult] = []
+    driver = _FaultDriver(
+        faults, retry_policy, sim, planner.name, tracer, registry
+    )
+
+    def collect(done):
+        _collect(done, in_flight, results, registry, config)
+
     with planner.traced(tracer):
         while pending or in_flight:
+            driver.tick(in_flight, pending, collect)
             while pending and len(in_flight) < concurrency:
                 stripe = pending.pop(0)
-                plan = _plan_stripe(
-                    planner, network, sim, stripe, failed_node
-                )
+                try:
+                    plan = _plan_stripe(
+                        planner, network, sim, stripe, failed_node,
+                        faults=faults if driver.active else None,
+                    )
+                except (ClusterError, PlanningError) as exc:
+                    if not driver.active:
+                        raise
+                    driver.abort_stripe(stripe, str(exc))
+                    continue
                 # Planning is serial at the Master: the clock moves while it
                 # runs, and other tasks may complete in that window.
                 done_meanwhile = sim.advance_to(
                     sim.now + plan.effective_planning_seconds
                 )
-                _collect(done_meanwhile, in_flight, results, registry, config)
-                flight = _submit(sim, plan, config)
+                collect(done_meanwhile)
+                driver.note_started(stripe, plan)
+                flight = _submit(sim, plan, config, stripe=stripe)
                 in_flight[flight.handle.task_id] = flight
-            finished = sim.run_until_completion()
-            _collect(finished, in_flight, results, registry, config)
+            if not in_flight:
+                continue
+            finished = sim.run_until_completion(
+                max_time=driver.run_bound(in_flight)
+            )
+            collect(finished)
     return FullNodeResult(
         scheme=planner.name,
         failed_node=failed_node,
         total_seconds=sim.now - start_time,
         task_results=results,
         telemetry=_run_telemetry(sim, tracer, registry),
+        failures=driver.failures,
     )
 
 
@@ -226,10 +412,13 @@ def repair_full_node_adaptive(
     config: ExecutionConfig | None = None,
     start_time: float = 0.0,
     tracer=NULL_TRACER,
+    faults: FaultPlan | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> FullNodeResult:
     """PivotRepair's adaptive full-node repair (recommendation values)."""
     scheduler = scheduler or SchedulerConfig()
     config = config or ExecutionConfig()
+    network = FaultyNetwork.wrap(network, faults)
     stripes = _stripes_to_repair(stripes, failed_node)
     logger.info(
         "adaptive full-node repair (%s): node %d, %d stripes",
@@ -240,20 +429,34 @@ def repair_full_node_adaptive(
     pending = list(stripes)
     in_flight: dict[int, _InFlight] = {}
     results: list[RepairResult] = []
+    driver = _FaultDriver(
+        faults, retry_policy, sim, f"{planner.name}+strategy", tracer,
+        registry,
+    )
+
+    def collect(done):
+        _collect(done, in_flight, results, registry, config)
+
     with planner.traced(tracer):
         while pending or in_flight:
+            driver.tick(in_flight, pending, collect)
             _start_recommended(
                 planner, network, sim, pending, in_flight, failed_node,
-                scheduler, config, results, registry, tracer,
+                scheduler, config, results, registry, tracer, driver,
             )
-            finished = sim.run_until_completion()
-            _collect(finished, in_flight, results, registry, config)
+            if not in_flight:
+                continue
+            finished = sim.run_until_completion(
+                max_time=driver.run_bound(in_flight)
+            )
+            collect(finished)
     return FullNodeResult(
         scheme=f"{planner.name}+strategy",
         failed_node=failed_node,
         total_seconds=sim.now - start_time,
         task_results=results,
         telemetry=_run_telemetry(sim, tracer, registry),
+        failures=driver.failures,
     )
 
 
@@ -269,9 +472,12 @@ def _start_recommended(
     results: list[RepairResult],
     registry: MetricsRegistry | None = None,
     tracer=NULL_TRACER,
+    driver: _FaultDriver | None = None,
 ) -> None:
     """Start best-stripe tasks while their recommendation clears the bar."""
     idle_since: float | None = None
+    faulted = driver is not None and driver.active
+    faults = driver.faults if faulted else None
     while pending:
         if (
             scheduler.max_concurrency is not None
@@ -279,17 +485,31 @@ def _start_recommended(
         ):
             return
         running = [flight.running for flight in in_flight.values()]
-        best_index = None
         best_value = float("-inf")
         best_plan = None
+        best_stripe = None
+        unrepairable: list[tuple[int, Stripe, str]] = []
         for index, stripe in enumerate(pending):
-            plan = _plan_stripe(planner, network, sim, stripe, failed_node)
+            try:
+                plan = _plan_stripe(
+                    planner, network, sim, stripe, failed_node, faults=faults
+                )
+            except (ClusterError, PlanningError) as exc:
+                if not faulted:
+                    raise
+                unrepairable.append((index, stripe, str(exc)))
+                continue
             value = recommendation_value(
                 plan.tree, plan.bmin, running, sim.now, scheduler,
                 tracer=tracer,
             )
             if value > best_value:
-                best_index, best_value, best_plan = index, value, plan
+                best_value, best_plan, best_stripe = value, plan, stripe
+        for index, stripe, reason in reversed(unrepairable):
+            pending.pop(index)
+            driver.abort_stripe(stripe, reason)
+        if best_plan is None:
+            return
         if registry is not None:
             registry.counter("scheduler_rounds").inc()
             registry.histogram("recommendation_value").observe(best_value)
@@ -314,7 +534,9 @@ def _start_recommended(
                 sim.advance_to(sim.now + scheduler.check_interval)
                 continue
         idle_since = None
-        pending.pop(best_index)
+        pending.pop(
+            next(i for i, s in enumerate(pending) if s is best_stripe)
+        )
         done_meanwhile = sim.advance_to(
             sim.now + best_plan.effective_planning_seconds
         )
@@ -325,7 +547,9 @@ def _start_recommended(
                 stripe=best_plan.notes.get("stripe_id"),
                 requestor=best_plan.requestor, value=best_value,
             )
-        flight = _submit(sim, best_plan, config)
+        if driver is not None:
+            driver.note_started(best_stripe, best_plan)
+        flight = _submit(sim, best_plan, config, stripe=best_stripe)
         in_flight[flight.handle.task_id] = flight
 
 

@@ -29,11 +29,50 @@ class RepairResult:
     plan: RepairPlan | None = None
     bytes_transferred: float = 0.0
     telemetry: dict | None = None
+    #: Execution attempts the repair needed (> 1 after mid-repair re-plans).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        """True — a ``RepairResult`` always describes a completed repair;
+        failed repairs come back as :class:`RepairFailed` instead."""
+        return True
+
+    @property
+    def replans(self) -> int:
+        """Mid-repair re-plans the repair survived."""
+        return self.attempts - 1
 
     @property
     def total_seconds(self) -> float:
         """Overall repair time = algorithm running time + transfer time."""
         return self.planning_seconds + self.transfer_seconds
+
+
+@dataclass
+class RepairFailed:
+    """Clean terminal outcome of a repair that could not complete.
+
+    Returned (not raised) by fault-aware executors when fewer than ``k``
+    helpers survive, the requestor dies, or the retry budget runs out —
+    the caller always gets *either* a :class:`RepairResult` with correct
+    data or a ``RepairFailed`` with the reason, never a hang or short
+    data.  ``elapsed_seconds`` is the simulated time spent before giving
+    up; ``bytes_transferred`` counts what the aborted attempts moved.
+    """
+
+    scheme: str
+    reason: str
+    elapsed_seconds: float = 0.0
+    attempts: int = 0
+    bytes_transferred: float = 0.0
+    telemetry: dict | None = None
+    #: Optional stripe id, for full-node runs that abort some stripes.
+    stripe_id: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return False
 
 
 @dataclass
@@ -46,10 +85,16 @@ class FullNodeResult:
     task_results: list[RepairResult] = field(default_factory=list)
     #: Registry snapshot of the whole run (see ``RepairResult.telemetry``).
     telemetry: dict | None = None
+    #: Stripes that could not be repaired (fault-injected runs only).
+    failures: list[RepairFailed] = field(default_factory=list)
 
     @property
     def chunks_repaired(self) -> int:
         return len(self.task_results)
+
+    @property
+    def chunks_failed(self) -> int:
+        return len(self.failures)
 
     @property
     def bytes_transferred(self) -> float:

@@ -143,3 +143,64 @@ class TestTelemetryConsistency:
         assert result.bytes_transferred == sum(
             telemetry["per_bytes_up"].values()
         )
+
+
+class TestFaultedDeterminism:
+    """Identical seed + fault plan => byte-identical JSONL trace."""
+
+    @staticmethod
+    def faulted_single_chunk():
+        from repro.faults import FaultPlan, RetryPolicy
+        from repro.repair import repair_single_chunk_faulted
+
+        faults = FaultPlan.random(
+            21, NODE_COUNT, horizon=0.5, crashes=1, degradations=1,
+            stalls=1, protect=(0,),
+        )
+        tracer = Tracer()
+        result = repair_single_chunk_faulted(
+            ZeroCostPlanner(), seeded_network(), requestor=0,
+            candidates=range(1, NODE_COUNT), k=CODE.k, faults=faults,
+            policy=RetryPolicy(detection_timeout=0.05),
+            config=small_config(), tracer=tracer,
+        )
+        return result, to_jsonl(tracer.events)
+
+    @staticmethod
+    def faulted_full_node():
+        from repro.faults import FaultPlan, RetryPolicy
+        from repro.repair import repair_full_node
+
+        stripes = place_stripes(6, CODE, NODE_COUNT, np.random.default_rng(3))
+        failed = stripes[0].placement[0]
+        helper = next(n for n in stripes[0].placement if n != failed)
+        faults = FaultPlan.from_spec(f"crash:{helper}@0.004")
+        tracer = Tracer()
+        result = repair_full_node(
+            ZeroCostPlanner(), seeded_network(), stripes, failed,
+            config=small_config(), tracer=tracer, faults=faults,
+            retry_policy=RetryPolicy(detection_timeout=0.002),
+        )
+        return result, to_jsonl(tracer.events)
+
+    def test_faulted_single_chunk_jsonl_is_byte_identical(self):
+        first_result, first = self.faulted_single_chunk()
+        _, second = self.faulted_single_chunk()
+        assert first
+        assert first == second
+        # The plan injected real faults into the traced stream.
+        assert '"fault.' in first
+
+    def test_faulted_full_node_jsonl_is_byte_identical(self):
+        first_result, first = self.faulted_full_node()
+        _, second = self.faulted_full_node()
+        assert first
+        assert first == second
+        assert '"repair.replan"' in first
+
+    def test_faulted_results_are_reproducible(self):
+        first, _ = self.faulted_single_chunk()
+        second, _ = self.faulted_single_chunk()
+        assert first.ok == second.ok
+        assert first.attempts == second.attempts
+        assert first.bytes_transferred == second.bytes_transferred

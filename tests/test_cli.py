@@ -243,3 +243,96 @@ class TestObservabilityFlags:
             h for h in logger.handlers if getattr(h, "_repro_cli", False)
         ]
         assert len(cli_handlers) == 1
+
+
+class TestFaultFlags:
+    def test_repair_with_fault_spec_reports_status(self, trace_file, capsys):
+        code = main(
+            [
+                "--json", "repair", str(trace_file), "--n", "6", "--k", "4",
+                "--chunk-mib", "4", "--faults", "degrade:0@0-1000x0.9",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        for values in payload["schemes"].values():
+            assert values["status"] in ("ok", "failed")
+            if values["status"] == "ok":
+                assert values["attempts"] >= 1
+                assert values["replans"] >= 0
+            else:
+                assert values["reason"]
+
+    def test_repair_with_fault_file(self, trace_file, tmp_path, capsys):
+        plan_file = tmp_path / "faults.json"
+        plan_file.write_text(
+            json.dumps(
+                {
+                    "events": [
+                        {"kind": "degrade", "node": 0, "start": 0.0,
+                         "end": 1000.0, "factor": 0.8, "direction": "up"},
+                    ]
+                }
+            )
+        )
+        code = main(
+            [
+                "--json", "repair", str(trace_file), "--n", "6", "--k", "4",
+                "--chunk-mib", "4", "--faults", str(plan_file),
+                "--retry-policy", "timeout=0.5,retries=2,backoff=0.1x2",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(
+            "status" in values for values in payload["schemes"].values()
+        )
+
+    def test_malformed_fault_spec_errors(self, trace_file, capsys):
+        code = main(
+            ["repair", str(trace_file), "--faults", "explode:1@2"]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_retry_policy_errors(self, trace_file, capsys):
+        code = main(
+            [
+                "repair", str(trace_file), "--faults", "crash:1@5",
+                "--retry-policy", "bogus",
+            ]
+        )
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_fullnode_with_faults_reports_counters(self, trace_file, capsys):
+        code = main(
+            [
+                "--json", "fullnode", str(trace_file), "--n", "6", "--k",
+                "4", "--stripes", "4", "--chunk-mib", "4",
+                "--faults", "degrade:1@0-1000x0.9",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        for values in payload["schemes"].values():
+            assert "replans" in values
+            assert "chunks_failed" in values
+            assert (
+                values["chunks_repaired"] + values["chunks_failed"]
+                == payload["chunks"]
+            )
+
+    def test_fullnode_fault_text_table_has_fault_column(
+        self, trace_file, capsys
+    ):
+        code = main(
+            [
+                "fullnode", str(trace_file), "--n", "6", "--k", "4",
+                "--stripes", "4", "--chunk-mib", "4",
+                "--faults", "degrade:1@0-1000x0.9",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults" in out and "replans" in out
