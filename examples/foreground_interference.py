@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Full-node repair under live client traffic, with and without QoS.
+
+A 16-node cluster loses one node while clients keep issuing reads and
+writes (Poisson arrivals, Zipfian stripe popularity).  Client flows and
+repair flows compete max-min on the same links; reads of the failed
+node's chunks go through the pipelined degraded-read path.  The same
+repair is run three times:
+
+* governor ``none``     — repair takes whatever bandwidth it can,
+* governor ``static``   — repair clamped to a fixed 250 Mb/s per task,
+* governor ``adaptive`` — AIMD against a client p99 latency SLO.
+
+Run:  python examples/foreground_interference.py
+"""
+
+import numpy as np
+
+from repro import PivotRepairPlanner, RSCode, repair_full_node
+from repro.ec import place_stripes
+from repro.loadgen import (
+    ForegroundEngine,
+    LoadProfile,
+    generate_requests,
+    make_governor,
+)
+from repro.network.topology import StarNetwork
+from repro.repair import ExecutionConfig
+from repro.units import format_latency, gbps, mbps, mib, to_mbps
+
+NODE_COUNT = 16
+
+
+def main() -> None:
+    code = RSCode(6, 4)
+    network = StarNetwork.uniform(NODE_COUNT, gbps(1))
+    stripes = place_stripes(16, code, NODE_COUNT, np.random.default_rng(0))
+    failed_node = stripes[0].placement[0]
+    config = ExecutionConfig(chunk_size=mib(256))
+
+    quiet = repair_full_node(
+        PivotRepairPlanner(), network, stripes, failed_node,
+        concurrency=4, config=config,
+    )
+    print(
+        f"Node {failed_node} failed; quiet repair takes "
+        f"{quiet.total_seconds:.1f} s with no clients around.\n"
+    )
+
+    profile = LoadProfile(
+        arrival_rate=80.0, duration=max(8.0, quiet.total_seconds),
+        read_fraction=0.9, request_size=int(mib(2)), zipf_s=0.9,
+    )
+    governors = {
+        "none": {},
+        "static": {"cap": mbps(250)},
+        "adaptive": {"slo_p99": 0.07, "floor_rate": mbps(125)},
+    }
+    print(
+        f"{'governor':>8} | {'repair':>8} | {'client p50':>10} | "
+        f"{'client p99':>10} | {'goodput':>11} | {'degraded':>8}"
+    )
+    for name, kwargs in governors.items():
+        requests = generate_requests(profile, stripes, NODE_COUNT, seed=0)
+        engine = ForegroundEngine(
+            stripes, requests, PivotRepairPlanner(),
+            failed_nodes={failed_node}, recent_window=2.0,
+        )
+        result = repair_full_node(
+            PivotRepairPlanner(), network, stripes, failed_node,
+            concurrency=4, config=config,
+            foreground=engine, governor=make_governor(name, **kwargs),
+        )
+        engine.drain()
+        latency = engine.read_latency()
+        summary = engine.summary()
+        print(
+            f"{name:>8} | {result.total_seconds:>6.1f} s | "
+            f"{format_latency(latency.percentile(50)):>10} | "
+            f"{format_latency(latency.percentile(99)):>10} | "
+            f"{to_mbps(summary['goodput_bytes_per_second']):>6.0f} Mb/s | "
+            f"{summary['degraded_reads']:>8}"
+        )
+    print(
+        "\nThe adaptive governor trades a bounded amount of repair time "
+        "for most of the client tail-latency inflation."
+    )
+
+
+if __name__ == "__main__":
+    main()

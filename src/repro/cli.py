@@ -10,6 +10,8 @@ workflow:
 * ``repro repair``          — simulate a single-chunk repair on a trace
   with every scheme and compare timings;
 * ``repro fullnode``        — simulate a full-node repair on a trace;
+* ``repro load``            — full-node repair under foreground client
+  load (trace-shaped arrivals, degraded reads, repair QoS governor);
 * ``repro experiment``      — regenerate a paper table or figure
   (``table1``, ``fig5``, ``fig6a``, ``fig6b``, ``fig7``).
 
@@ -37,6 +39,14 @@ from repro.core.scheduler import SchedulerConfig
 from repro.ec import RSCode, place_stripes
 from repro.exceptions import ReproError
 from repro.faults import FaultPlan, RetryPolicy
+from repro.loadgen import (
+    ForegroundEngine,
+    LoadProfile,
+    generate_requests,
+    make_governor,
+    rate_profile_from_trace,
+)
+from repro.network.topology import StarNetwork
 from repro.obs import NULL_TRACER, Tracer, write_trace
 from repro.repair import (
     ExecutionConfig,
@@ -59,7 +69,7 @@ from repro.traces import (
     heterogeneous_congestion_fraction,
     pivot_availability,
 )
-from repro.units import kib, mib, to_mbps
+from repro.units import format_latency, kib, mbps, mib, to_mbps
 
 SCHEME_FACTORIES = {
     "pivot": PivotRepairPlanner,
@@ -156,6 +166,51 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also run PivotRepair with the adaptive strategy",
     )
     _add_fault_args(fullnode)
+
+    load = commands.add_parser(
+        "load", help="full-node repair under foreground client load"
+    )
+    load.add_argument("trace_file", metavar="trace", type=Path)
+    load.add_argument("--n", type=int, default=6)
+    load.add_argument("--k", type=int, default=4)
+    load.add_argument("--stripes", type=int, default=16)
+    load.add_argument("--chunk-mib", type=float, default=64)
+    load.add_argument("--concurrency", type=int, default=4)
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument(
+        "--scheme", choices=sorted(SCHEME_FACTORIES), default="pivot"
+    )
+    load.add_argument(
+        "--governor", choices=("none", "static", "adaptive"),
+        default="adaptive", help="repair QoS policy",
+    )
+    load.add_argument(
+        "--arrival-rate", type=float, default=50.0,
+        help="mean client requests per second (trace-shape modulated)",
+    )
+    load.add_argument(
+        "--load-duration", type=float, default=None, metavar="SECONDS",
+        help="request stream length (default: the trace length)",
+    )
+    load.add_argument("--request-mib", type=float, default=1.0)
+    load.add_argument("--read-fraction", type=float, default=0.9)
+    load.add_argument(
+        "--zipf", type=float, default=0.9,
+        help="Zipf exponent of object popularity",
+    )
+    load.add_argument(
+        "--slo-ms", type=float, default=500.0,
+        help="adaptive governor: foreground p99 objective",
+    )
+    load.add_argument(
+        "--static-cap-mbps", type=float, default=250.0,
+        help="static governor: per-repair-flow ceiling",
+    )
+    load.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the repair-only baseline run (no slowdown column)",
+    )
+    _add_fault_args(load)
 
     experiment = commands.add_parser(
         "experiment", help="regenerate a paper table or figure"
@@ -398,6 +453,104 @@ def _cmd_fullnode(args, tracer=NULL_TRACER) -> dict:
     }
 
 
+def _cmd_load(args, tracer=NULL_TRACER) -> dict:
+    trace = WorkloadTrace.load(args.trace_file)
+    # Foreground traffic is explicit here: the network runs at full
+    # capacity and the measured trace shapes the *arrival rate* instead
+    # of pre-subtracting link bandwidth.
+    network = StarNetwork.uniform(trace.node_count, trace.capacity)
+    code = RSCode(args.n, args.k)
+    rng = np.random.default_rng(args.seed)
+    stripes = place_stripes(args.stripes, code, trace.node_count, rng)
+    failed = stripes[0].placement[0]
+    config = ExecutionConfig(chunk_size=mib(args.chunk_mib))
+    faults, policy = _parse_faults(args)
+    duration = (
+        float(trace.sample_count)
+        if args.load_duration is None
+        else args.load_duration
+    )
+    profile = LoadProfile(
+        name=trace.name,
+        arrival_rate=args.arrival_rate,
+        duration=duration,
+        read_fraction=args.read_fraction,
+        request_size=int(mib(args.request_mib)),
+        zipf_s=args.zipf,
+        modulation="trace",
+    )
+    requests = generate_requests(
+        profile, stripes, trace.node_count, seed=args.seed,
+        rate_profile=rate_profile_from_trace(trace),
+    )
+    make_planner = SCHEME_FACTORIES[args.scheme]
+    baseline_seconds = None
+    if not args.no_baseline:
+        baseline_seconds = repair_full_node(
+            make_planner(), network, stripes, failed,
+            concurrency=args.concurrency, config=config,
+            faults=faults, retry_policy=policy,
+        ).total_seconds
+    governor_kwargs = {
+        "none": {},
+        "static": {"cap": mbps(args.static_cap_mbps)},
+        "adaptive": {"slo_p99": args.slo_ms / 1000.0},
+    }[args.governor]
+    governor = make_governor(args.governor, **governor_kwargs)
+    engine = ForegroundEngine(
+        stripes, requests, make_planner(), failed_nodes={failed},
+        faults=faults,
+    )
+    result = repair_full_node(
+        make_planner(), network, stripes, failed,
+        concurrency=args.concurrency, config=config, tracer=tracer,
+        faults=faults, retry_policy=policy,
+        foreground=engine, governor=governor,
+    )
+    engine.drain()
+    summary = engine.summary()
+    hist = engine.read_latency()
+
+    def pct(q: float) -> float | None:
+        value = hist.percentile(q)
+        return None if value != value else value
+
+    payload = {
+        "trace": trace.name,
+        "scheme": args.scheme,
+        "governor": governor.name,
+        "failed_node": failed,
+        "stripes": len(stripes),
+        "seed": args.seed,
+        "repair_seconds": round(result.total_seconds, 3),
+        "repair_baseline_seconds": (
+            None if baseline_seconds is None else round(baseline_seconds, 3)
+        ),
+        "repair_slowdown": (
+            None
+            if baseline_seconds is None or baseline_seconds <= 0
+            else round(result.total_seconds / baseline_seconds, 3)
+        ),
+        "requests": summary["requests"],
+        "reads": summary["reads"],
+        "writes": summary["writes"],
+        "degraded_reads": summary["degraded_reads"],
+        "read_failures": summary["read_failures"],
+        "goodput_mbps": round(
+            to_mbps(summary.get("goodput_bytes_per_second", 0.0)), 1
+        ),
+        "read_latency_seconds": {
+            "p50": pct(50), "p95": pct(95), "p99": pct(99),
+            "p99.9": pct(99.9),
+        },
+        "bytes_by_kind": (result.telemetry or {}).get("per_bytes_kind", {}),
+    }
+    if args.metrics:
+        payload["telemetry"] = result.telemetry
+        payload["foreground"] = summary
+    return payload
+
+
 def _cmd_experiment(args, tracer=NULL_TRACER) -> dict:
     from repro.experiments import run_figure5
     from repro.experiments.fullnode_experiment import run_figure7
@@ -551,6 +704,45 @@ def _render(args, payload: dict) -> str:
             columns.append("faults")
         table = format_table(columns, rows)
         return header + "\n" + table + _metrics_block(args, payload)
+    if args.command == "load":
+        latency = payload["read_latency_seconds"]
+
+        def lat(key: str) -> str:
+            value = latency[key]
+            return "n/a" if value is None else format_latency(value)
+
+        slowdown = payload["repair_slowdown"]
+        repair_line = f"repair: {format_latency(payload['repair_seconds'])}"
+        if slowdown is not None:
+            repair_line += (
+                f" ({slowdown:.2f}x of the "
+                f"{format_latency(payload['repair_baseline_seconds'])} "
+                "repair-only baseline)"
+            )
+        kinds = payload["bytes_by_kind"]
+        lines = [
+            f"foreground load on {payload['trace']}: scheme "
+            f"{payload['scheme']}, governor {payload['governor']}, "
+            f"failed node {payload['failed_node']}",
+            repair_line,
+            f"requests: {payload['requests']} "
+            f"({payload['reads']} reads / {payload['writes']} writes), "
+            f"{payload['degraded_reads']} degraded reads, "
+            f"{payload['read_failures']} failures",
+            f"goodput: {payload['goodput_mbps']} Mb/s",
+            "read latency: "
+            + "  ".join(f"{k} {lat(k)}" for k in ("p50", "p95", "p99", "p99.9")),
+        ]
+        if kinds:
+            lines.append(
+                "bytes by class: "
+                + "  ".join(f"{k} {v:.3g}" for k, v in sorted(kinds.items()))
+            )
+        if args.metrics and "telemetry" in payload:
+            lines.append(
+                "telemetry:\n" + json.dumps(payload["telemetry"], indent=2)
+            )
+        return "\n".join(lines)
     if args.command == "experiment":
         return json.dumps(payload, indent=2)
     # trace generate/analyze: key-value listing.
@@ -593,6 +785,8 @@ def main(argv: list[str] | None = None) -> int:
             payload = _cmd_plan(args, tracer)
         elif args.command == "repair":
             payload = _cmd_repair(args, tracer)
+        elif args.command == "load":
+            payload = _cmd_load(args, tracer)
         elif args.command == "experiment":
             payload = _cmd_experiment(args, tracer)
         else:

@@ -45,3 +45,7 @@ class ClusterError(ReproError):
 
 class FaultError(ReproError):
     """A fault-injection plan or spec is malformed or inconsistent."""
+
+
+class LoadGenError(ReproError):
+    """A foreground load profile or engine was misconfigured."""

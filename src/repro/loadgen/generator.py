@@ -1,0 +1,222 @@
+"""Seeded open-loop request generators.
+
+Arrivals follow a (possibly modulated) Poisson process — the open-loop
+model of client traffic: request times do not depend on completions, so a
+slow system builds queues instead of silently back-pressuring the load.
+Object popularity is Zipfian over stripes (hot storage concentrates reads
+on few objects), and the arrival *rate* can be modulated three ways:
+
+* ``"none"`` — homogeneous Poisson at ``arrival_rate``;
+* ``"diurnal"`` — a sinusoid around the base rate (day/night cycles
+  compressed to ``diurnal_period`` seconds);
+* ``"bursts"`` — Poisson burst episodes multiply the base rate (flash
+  crowds).
+
+Modulated processes are sampled by thinning (Lewis & Shedler): candidate
+arrivals are drawn at the peak rate and accepted with probability
+``rate(t) / peak``, which is exact for any bounded rate function.  A
+:func:`rate_profile_from_trace` helper converts a measured
+:class:`~repro.traces.workload.WorkloadTrace` into a modulation profile so
+foreground load can follow, e.g., the TPC-DS intensity shape while the
+flows themselves compete for full link capacity.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ec.stripe import Stripe
+from repro.exceptions import LoadGenError
+from repro.loadgen.requests import READ, WRITE, ClientRequest
+from repro.traces.workload import WorkloadTrace
+from repro.units import mib
+
+MODULATIONS = ("none", "diurnal", "bursts", "trace")
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Parameters of one synthetic foreground workload."""
+
+    name: str = "synthetic"
+    #: Mean request arrivals per second (before modulation).
+    arrival_rate: float = 50.0
+    #: Length of the generated request stream, seconds.
+    duration: float = 60.0
+    #: Fraction of requests that are reads (the rest are writes).
+    read_fraction: float = 0.9
+    #: Bytes moved per request.
+    request_size: int = mib(1)
+    #: Zipf exponent of object popularity over stripes (0 = uniform).
+    zipf_s: float = 0.9
+    #: Arrival-rate modulation: none / diurnal / bursts / trace.
+    modulation: str = "none"
+    diurnal_period: float = 120.0
+    #: Relative swing of the diurnal sinusoid, in [0, 1).
+    diurnal_amplitude: float = 0.5
+    #: Burst episodes per second and their mean duration (seconds).
+    burst_rate: float = 0.02
+    burst_duration: float = 5.0
+    #: Rate multiplier inside a burst episode.
+    burst_multiplier: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise LoadGenError("arrival rate cannot be negative")
+        if self.duration <= 0:
+            raise LoadGenError("duration must be positive")
+        if not 0 <= self.read_fraction <= 1:
+            raise LoadGenError("read fraction must be in [0, 1]")
+        if self.request_size <= 0:
+            raise LoadGenError("request size must be positive")
+        if self.zipf_s < 0:
+            raise LoadGenError("zipf exponent cannot be negative")
+        if self.modulation not in MODULATIONS:
+            raise LoadGenError(
+                f"unknown modulation {self.modulation!r}; "
+                f"expected one of {MODULATIONS}"
+            )
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise LoadGenError("diurnal amplitude must be in [0, 1)")
+        if self.diurnal_period <= 0:
+            raise LoadGenError("diurnal period must be positive")
+        if self.burst_rate < 0 or self.burst_duration <= 0:
+            raise LoadGenError("bad burst parameters")
+        if self.burst_multiplier < 1:
+            raise LoadGenError("burst multiplier must be >= 1")
+
+
+def zipf_weights(count: int, s: float) -> np.ndarray:
+    """Normalised Zipf(s) popularity over ``count`` ranked objects."""
+    if count < 1:
+        raise LoadGenError("need at least one object")
+    weights = 1.0 / np.arange(1, count + 1, dtype=float) ** s
+    return weights / weights.sum()
+
+
+def rate_profile_from_trace(trace: WorkloadTrace) -> np.ndarray:
+    """Per-second arrival-rate multipliers following a measured trace.
+
+    The cluster-mean used node bandwidth, normalised to mean 1.0 (so the
+    profile modulates shape, not volume) and floored at 0.05 (quiet
+    seconds still see trickle traffic).
+    """
+    mean_used = trace.used_node_bandwidth().mean(axis=0)
+    base = mean_used.mean()
+    if base <= 0:
+        return np.ones_like(mean_used)
+    return np.clip(mean_used / base, 0.05, None)
+
+
+def _modulation(
+    profile: LoadProfile,
+    rng: np.random.Generator,
+    rate_profile: np.ndarray | None,
+    profile_interval: float,
+):
+    """(rate multiplier fn, peak multiplier) for the thinning sampler."""
+    if profile.modulation == "none":
+        return (lambda t: 1.0), 1.0
+    if profile.modulation == "diurnal":
+        amplitude = profile.diurnal_amplitude
+        omega = 2 * math.pi / profile.diurnal_period
+
+        return (lambda t: 1.0 + amplitude * math.sin(omega * t)), (
+            1.0 + amplitude
+        )
+    if profile.modulation == "bursts":
+        episodes = []
+        t = 0.0
+        while profile.burst_rate > 0:
+            t += rng.exponential(1.0 / profile.burst_rate)
+            if t >= profile.duration:
+                break
+            episodes.append(
+                (t, t + rng.exponential(profile.burst_duration))
+            )
+
+        def bursty(t: float) -> float:
+            for start, end in episodes:
+                if start <= t < end:
+                    return profile.burst_multiplier
+            return 1.0
+
+        return bursty, profile.burst_multiplier
+    # "trace": follow the supplied per-sample profile.
+    if rate_profile is None:
+        raise LoadGenError(
+            'modulation "trace" needs a rate_profile '
+            "(see rate_profile_from_trace)"
+        )
+    samples = np.asarray(rate_profile, dtype=float)
+    if samples.ndim != 1 or not len(samples):
+        raise LoadGenError("rate_profile must be a non-empty 1-D array")
+    if (samples < 0).any():
+        raise LoadGenError("rate_profile multipliers cannot be negative")
+
+    def traced(t: float) -> float:
+        index = min(int(t / profile_interval), len(samples) - 1)
+        return float(samples[index])
+
+    return traced, float(samples.max())
+
+
+def generate_requests(
+    profile: LoadProfile,
+    stripes: Sequence[Stripe],
+    node_count: int,
+    seed: int = 0,
+    rate_profile: np.ndarray | None = None,
+    profile_interval: float = 1.0,
+) -> list[ClientRequest]:
+    """Generate a seeded, time-ordered foreground request stream.
+
+    Reads target a Zipf-popular stripe's data chunk from a uniformly
+    random client node (never the chunk's holder — that read is local and
+    moves no network bytes); writes store a fresh object across a
+    stripe's placement.  Deterministic for a given seed.
+    """
+    if not stripes:
+        raise LoadGenError("need at least one stripe to address")
+    if node_count < 2:
+        raise LoadGenError("need at least two nodes for client traffic")
+    rng = np.random.default_rng(seed)
+    rate_of, peak = _modulation(profile, rng, rate_profile, profile_interval)
+    weights = zipf_weights(len(stripes), profile.zipf_s)
+    ordered = sorted(stripes, key=lambda s: s.stripe_id)
+    peak_rate = profile.arrival_rate * peak
+    requests: list[ClientRequest] = []
+    if peak_rate <= 0:
+        return requests
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / peak_rate)
+        if t >= profile.duration:
+            return requests
+        if rng.random() * peak > rate_of(t):
+            continue  # thinned out: instantaneous rate below peak
+        stripe = ordered[int(rng.choice(len(ordered), p=weights))]
+        is_read = rng.random() < profile.read_fraction
+        if is_read:
+            chunk_index = int(rng.integers(0, stripe.code.k))
+            holder = stripe.placement[chunk_index]
+            client = int(rng.integers(0, node_count))
+            while client == holder:
+                client = int(rng.integers(0, node_count))
+        else:
+            chunk_index = 0
+            client = int(rng.integers(0, node_count))
+        requests.append(
+            ClientRequest(
+                arrival=t,
+                kind=READ if is_read else WRITE,
+                stripe_id=stripe.stripe_id,
+                chunk_index=chunk_index,
+                client=client,
+                size=profile.request_size,
+            )
+        )

@@ -1,0 +1,72 @@
+"""Client request records for the foreground traffic engine.
+
+A :class:`ClientRequest` is one foreground storage operation emitted by a
+generator (:mod:`repro.loadgen.generator`): a read of one data chunk's
+range or a write of a whole object.  The engine
+(:mod:`repro.loadgen.engine`) turns each request into fluid flows on the
+network simulator and records a :class:`RequestOutcome` when they finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import LoadGenError
+
+READ = "read"
+WRITE = "write"
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """One foreground storage request.
+
+    Attributes:
+        arrival: seconds since the start of the load run (the engine
+            shifts this by the simulator time at which it is bound).
+        kind: ``"read"`` (fetch ``size`` bytes of one data chunk) or
+            ``"write"`` (store an object of ``size`` bytes across the
+            stripe's nodes).
+        stripe_id: target stripe.
+        chunk_index: data chunk a read targets (ignored for writes).
+        client: node issuing the request.
+        size: object bytes moved by the request.
+    """
+
+    arrival: float
+    kind: str
+    stripe_id: int
+    chunk_index: int
+    client: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise LoadGenError("request arrival cannot be negative")
+        if self.kind not in (READ, WRITE):
+            raise LoadGenError(f"unknown request kind {self.kind!r}")
+        if self.size <= 0:
+            raise LoadGenError("request size must be positive")
+
+
+@dataclass
+class RequestOutcome:
+    """How one request fared: timing and the path it took.
+
+    ``finished - arrival`` is the client-visible latency, including any
+    queueing between arrival and flow submission (e.g. while the Master's
+    serial planning froze the clock).  ``degraded`` marks reads that had
+    to reconstruct their chunk through a repair tree; ``local`` marks
+    requests that moved no network bytes (client held the data).
+    """
+
+    request: ClientRequest
+    arrival: float
+    finished: float
+    degraded: bool = False
+    local: bool = False
+    bytes_moved: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.arrival

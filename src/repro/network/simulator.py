@@ -16,6 +16,12 @@ Two task shapes are supported:
   one common rate; the task finishes when each edge has carried its bytes.
 * **Bulk tasks** (conventional repair, PPR rounds): each edge is an
   independent flow; the task finishes when the *last* flow does.
+
+Every task carries a **traffic class** (``kind``): repair traffic and
+foreground client traffic compete max-min on the same links but are
+accounted separately (:attr:`SimulatorStats.bytes_by_kind`) and traced on
+distinguishable tracks, so interference between the two is observable
+rather than baked into the capacities.
 """
 
 from __future__ import annotations
@@ -45,14 +51,19 @@ class SimulatorStats:
     tasks_submitted: int = 0
     tasks_completed: int = 0
     tasks_cancelled: int = 0
+    #: Bytes carried per traffic class (summed over edges), e.g.
+    #: ``{"repair": ..., "foreground": ...}``.  Partially-finished and
+    #: cancelled tasks count what they actually moved.
+    bytes_by_kind: dict[str, float] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict:
         return {
             "steps": self.steps,
             "rate_recomputations": self.rate_recomputations,
             "tasks_submitted": self.tasks_submitted,
             "tasks_completed": self.tasks_completed,
             "tasks_cancelled": self.tasks_cancelled,
+            "bytes_by_kind": dict(sorted(self.bytes_by_kind.items())),
         }
 
 
@@ -65,6 +76,8 @@ class TaskHandle:
     submit_time: float
     finish_time: float | None = None
     cancelled: bool = False
+    #: Traffic class ("repair", "foreground", ...).
+    kind: str = "repair"
 
     @property
     def done(self) -> bool:
@@ -88,6 +101,8 @@ class _Entity:
     rate: float = 0.0
     #: Optional ceiling on the entity's rate (rate-throttled traffic).
     max_rate: float | None = None
+    #: Traffic class the entity's bytes are accounted under.
+    kind: str = "repair"
 
 
 class FluidSimulator:
@@ -127,12 +142,14 @@ class FluidSimulator:
         bytes_per_edge: float,
         label: str = "",
         max_rate: float | None = None,
+        kind: str = "repair",
     ) -> TaskHandle:
         """Submit a pipelined task: all edges share one rate.
 
         ``bytes_per_edge`` is the amount each edge must carry (for a repair
         tree, the chunk size plus pipeline fill overhead).  ``max_rate``
         throttles the pipeline (production systems rate-limit repair).
+        ``kind`` is the traffic class the bytes are accounted under.
         """
         if not edges:
             raise SimulationError("a pipelined task needs at least one edge")
@@ -140,13 +157,14 @@ class FluidSimulator:
             raise SimulationError("bytes_per_edge must be positive")
         if max_rate is not None and max_rate <= 0:
             raise SimulationError("max_rate must be positive")
-        handle = self._new_handle(label)
+        handle = self._new_handle(label, kind)
         entity = _Entity(
             task_id=handle.task_id,
             edges=list(edges),
             remaining=float(bytes_per_edge),
             usage=self._usage_of(edges),
             max_rate=max_rate,
+            kind=kind,
         )
         self._add_entities(handle, [entity])
         if self.tracer.enabled:
@@ -161,17 +179,19 @@ class FluidSimulator:
         transfers: Sequence[tuple[int, int, float]],
         label: str = "",
         max_rate: float | None = None,
+        kind: str = "repair",
     ) -> TaskHandle:
         """Submit independent flows (src, dst, bytes); done when all finish.
 
         ``max_rate`` caps each flow individually (e.g. replayed foreground
-        traffic running at its recorded intensity).
+        traffic running at its recorded intensity).  ``kind`` is the
+        traffic class the bytes are accounted under.
         """
         if not transfers:
             raise SimulationError("a bulk task needs at least one transfer")
         if max_rate is not None and max_rate <= 0:
             raise SimulationError("max_rate must be positive")
-        handle = self._new_handle(label)
+        handle = self._new_handle(label, kind)
         entities = []
         for src, dst, size in transfers:
             if size <= 0:
@@ -183,6 +203,7 @@ class FluidSimulator:
                     remaining=float(size),
                     usage=self._usage_of([(src, dst)]),
                     max_rate=max_rate,
+                    kind=kind,
                 )
             )
         self._add_entities(handle, entities)
@@ -201,10 +222,17 @@ class FluidSimulator:
         shape: str,
         bytes_total: float,
     ) -> None:
-        """Open a span for the task on its sink node's track."""
+        """Open a span for the task on its sink node's track.
+
+        Repair flows keep the historical ``node:<sink>`` track; other
+        traffic classes get ``<kind>:<sink>`` tracks so foreground flows
+        stay visually and programmatically distinguishable in timelines
+        and trace exports.
+        """
         sources = {src for src, _ in edges}
         sinks = {dst for _, dst in edges if dst not in sources}
-        track = f"node:{min(sinks)}" if sinks else "sim"
+        prefix = "node" if handle.kind == "repair" else handle.kind
+        track = f"{prefix}:{min(sinks)}" if sinks else "sim"
         self._task_tracks[handle.task_id] = track
         self._task_spans[handle.task_id] = self.tracer.begin(
             "flow",
@@ -212,12 +240,13 @@ class FluidSimulator:
             track=track,
             label=handle.label,
             shape=shape,
+            kind=handle.kind,
             edges=[list(edge) for edge in edges],
             bytes_total=bytes_total,
         )
         self.tracer.instant(
             "flow.submit", t=self.now, track=track,
-            label=handle.label, edges=len(edges),
+            label=handle.label, edges=len(edges), kind=handle.kind,
         )
 
     def _usage_of(self, edges) -> dict:
@@ -230,11 +259,13 @@ class FluidSimulator:
                 usage[resource] = usage.get(resource, 0.0) + coefficient
         return usage
 
-    def _new_handle(self, label: str) -> TaskHandle:
+    def _new_handle(self, label: str, kind: str = "repair") -> TaskHandle:
+        if not kind:
+            raise SimulationError("task kind cannot be empty")
         task_id = next(self._task_ids)
         handle = TaskHandle(
             task_id=task_id, label=label or f"task-{task_id}",
-            submit_time=self.now,
+            submit_time=self.now, kind=kind,
         )
         self._handles[task_id] = handle
         self._task_entities[task_id] = set()
@@ -283,6 +314,30 @@ class FluidSimulator:
                     )
                 # Rack-level resources are not per-node usage.
         return up, down
+
+    # ------------------------------------------------------------------
+    # Rate control
+    # ------------------------------------------------------------------
+    def set_task_max_rate(
+        self, handle: TaskHandle, max_rate: float | None
+    ) -> None:
+        """Re-cap a running task's rate (QoS governors retune repair).
+
+        Applies to every live entity of the task (each bulk flow is capped
+        individually, matching submission semantics); ``None`` removes the
+        cap.  A no-op on finished or cancelled tasks.
+        """
+        if max_rate is not None and max_rate <= 0:
+            raise SimulationError("max_rate must be positive")
+        entity_ids = self._task_entities.get(handle.task_id, set())
+        changed = False
+        for entity_id in entity_ids:
+            entity = self._entities[entity_id]
+            if entity.max_rate != max_rate:
+                entity.max_rate = max_rate
+                changed = True
+        if changed:
+            self._rates_valid = False
 
     # ------------------------------------------------------------------
     # Cancellation
@@ -406,6 +461,10 @@ class FluidSimulator:
                     self.bytes_down[dst] = (
                         self.bytes_down.get(dst, 0.0) + transferred
                     )
+                self.stats.bytes_by_kind[entity.kind] = (
+                    self.stats.bytes_by_kind.get(entity.kind, 0.0)
+                    + transferred * len(entity.edges)
+                )
         self.now = next_event
         self.stats.steps += 1
         self._rates_valid = False

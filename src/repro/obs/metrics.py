@@ -10,6 +10,8 @@ nested ``per_node_*`` maps for convenient consumption.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
@@ -42,25 +44,68 @@ class Gauge:
         self.value = float(value)
 
 
-class Histogram:
-    """Stores raw observations; summarises count/min/max/mean/percentiles.
+#: Observations kept verbatim before a histogram switches to reservoir
+#: sampling.  Repair runs stay far below this; loadgen latency streams
+#: (millions of client requests) cross it and get bounded memory instead
+#: of an unbounded raw list.
+DEFAULT_RESERVOIR_SIZE = 8192
 
-    Repair runs observe at most a few thousand values (one per chunk or
-    per event-loop step), so keeping the raw samples is simpler and more
-    accurate than bucketing.
+
+class Histogram:
+    """Bounded-memory observations; count/min/max/mean/percentiles.
+
+    Below ``reservoir_size`` observations every sample is kept and
+    percentiles are exact (nearest-rank over the raw list — the original
+    semantics).  Past the threshold the sample list becomes a uniform
+    reservoir (Vitter's Algorithm R) with a deterministic, name-seeded
+    RNG, so percentiles turn into unbiased estimates while ``count``,
+    ``min``, ``max``, and ``mean`` stay exact at any volume.
     """
 
-    __slots__ = ("name", "samples")
+    __slots__ = ("name", "samples", "count", "_min", "_max", "_sum",
+                 "_reservoir_size", "_rng")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+        if reservoir_size < 1:
+            raise ValueError("reservoir size must be >= 1")
         self.name = name
         self.samples: list[float] = []
+        self.count = 0
+        self._min = math.inf
+        self._max = -math.inf
+        self._sum = 0.0
+        self._reservoir_size = reservoir_size
+        # Lazily created on first eviction: deterministic per name, so
+        # seeded runs stay reproducible without a global RNG.
+        self._rng: random.Random | None = None
+
+    @property
+    def exact(self) -> bool:
+        """True while every observation is still held verbatim."""
+        return self.count == len(self.samples)
 
     def observe(self, value: float) -> None:
-        self.samples.append(float(value))
+        value = float(value)
+        self.count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self.samples) < self._reservoir_size:
+            self.samples.append(value)
+            return
+        if self._rng is None:
+            self._rng = random.Random(zlib.crc32(self.name.encode()))
+        slot = self._rng.randrange(self.count)
+        if slot < self._reservoir_size:
+            self.samples[slot] = value
 
     def percentile(self, q: float) -> float:
-        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        """Nearest-rank percentile, ``q`` in [0, 100].
+
+        Exact while in exact mode; a reservoir estimate afterwards.
+        """
         if not self.samples:
             return math.nan
         if not 0 <= q <= 100:
@@ -70,16 +115,18 @@ class Histogram:
         return ordered[rank - 1]
 
     def summary(self) -> dict[str, float]:
-        if not self.samples:
+        if not self.count:
             return {"count": 0}
         return {
-            "count": len(self.samples),
-            "min": min(self.samples),
-            "max": max(self.samples),
-            "mean": sum(self.samples) / len(self.samples),
+            "count": self.count,
+            "min": self._min,
+            "max": self._max,
+            "mean": self._sum / self.count,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p95": self.percentile(95),
             "p99": self.percentile(99),
+            "p99.9": self.percentile(99.9),
         }
 
 

@@ -16,6 +16,7 @@ Two execution modes:
 from __future__ import annotations
 
 import logging
+import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
@@ -47,6 +48,8 @@ def execute_plan(
     start_time: float = 0.0,
     config: ExecutionConfig | None = None,
     tracer=NULL_TRACER,
+    foreground=None,
+    governor=None,
 ) -> RepairResult:
     """Run a repair plan on a fresh simulator and time the transfer.
 
@@ -54,11 +57,27 @@ def execute_plan(
     rate); staged plans run their rounds back-to-back, each round a set of
     independent whole-chunk flows.  With a live ``tracer`` the simulator
     emits flow events and the result carries a ``telemetry`` snapshot.
+
+    ``foreground`` (a :class:`~repro.loadgen.ForegroundEngine`) runs
+    client flows on the same simulator while the repair transfers;
+    ``governor`` (a :class:`~repro.loadgen.RepairQoSGovernor`) throttles
+    the repair pipeline at its decision interval.  Pipelined plans only;
+    both default to None, leaving the repair-only path unchanged.
     """
     config = config or ExecutionConfig()
+    if (foreground is not None or governor is not None) and (
+        not plan.is_pipelined
+    ):
+        raise PlanningError(
+            "foreground-aware execution supports pipelined plans only"
+        )
     sim = FluidSimulator(network, start_time=start_time, tracer=tracer)
+    if foreground is not None:
+        foreground.bind(sim, network)
     if plan.is_pipelined:
-        transfer = _run_pipelined(plan, sim, config)
+        transfer = _run_pipelined(
+            plan, sim, config, foreground=foreground, governor=governor
+        )
     else:
         transfer = _run_staged(plan, sim, config)
     logger.info(
@@ -97,7 +116,11 @@ def _telemetry(
 
 
 def _run_pipelined(
-    plan: RepairPlan, sim: FluidSimulator, config: ExecutionConfig
+    plan: RepairPlan,
+    sim: FluidSimulator,
+    config: ExecutionConfig,
+    foreground=None,
+    governor=None,
 ) -> float:
     tree = plan.tree
     assert tree is not None
@@ -106,7 +129,19 @@ def _run_pipelined(
         pipeline_bytes_per_edge(config, tree.depth()),
         label=plan.scheme,
     )
-    sim.run()
+    if foreground is None and governor is None:
+        sim.run()
+    else:
+        while not handle.done:
+            bound = math.inf
+            if governor is not None:
+                cap = governor.repair_rate_cap(sim.now, foreground)
+                sim.set_task_max_rate(handle, cap)
+                bound = sim.now + governor.decision_interval
+            if foreground is not None:
+                foreground.run_until_repair_event(max_time=bound)
+            else:
+                sim.run_until_completion(max_time=bound)
     return handle.duration + pipeline_overhead_seconds(config)
 
 
@@ -135,13 +170,16 @@ def repair_single_chunk(
     start_time: float = 0.0,
     config: ExecutionConfig | None = None,
     tracer=NULL_TRACER,
+    foreground=None,
+    governor=None,
 ) -> RepairResult:
     """Plan (from a snapshot at ``start_time``) and execute one repair."""
     snapshot = BandwidthSnapshot.from_network(network, start_time)
     with planner.traced(tracer):
         plan = planner.plan(snapshot, requestor, candidates, k)
     return execute_plan(
-        plan, network, start_time=start_time, config=config, tracer=tracer
+        plan, network, start_time=start_time, config=config, tracer=tracer,
+        foreground=foreground, governor=governor,
     )
 
 

@@ -144,6 +144,7 @@ def _submit(
     plan: RepairPlan,
     config: ExecutionConfig,
     stripe: Stripe | None = None,
+    max_rate: float | None = None,
 ) -> _InFlight:
     if not plan.is_pipelined:
         raise ClusterError(
@@ -152,7 +153,8 @@ def _submit(
     tree = plan.tree
     bytes_per_edge = pipeline_bytes_per_edge(config, tree.depth())
     handle = sim.submit_pipelined(
-        tree.edges(), bytes_per_edge, label=f"{plan.scheme}-r{plan.requestor}"
+        tree.edges(), bytes_per_edge,
+        label=f"{plan.scheme}-r{plan.requestor}", max_rate=max_rate,
     )
     expected = bytes_per_edge / plan.bmin if plan.bmin > 0 else bytes_per_edge
     running = RunningTask(
@@ -170,6 +172,7 @@ def _collect(
     results: list[RepairResult],
     registry: MetricsRegistry | None = None,
     config: ExecutionConfig | None = None,
+    on_repaired=None,
 ) -> None:
     for handle in finished:
         flight = in_flight.pop(handle.task_id)
@@ -194,12 +197,90 @@ def _collect(
             registry.histogram("planner_seconds").observe(
                 flight.plan.effective_planning_seconds
             )
+        if on_repaired is not None and flight.stripe is not None:
+            on_repaired(flight)
 
 
 def _run_telemetry(
     sim: FluidSimulator, tracer, registry: MetricsRegistry
 ) -> dict:
     return registry_from_run(sim, tracer, registry=registry).snapshot()
+
+
+# ----------------------------------------------------------------------
+# Foreground traffic and repair QoS (repro.loadgen)
+# ----------------------------------------------------------------------
+# The orchestrators accept an optional ForegroundEngine and
+# RepairQoSGovernor.  Every clock movement is funnelled through the two
+# helpers below so client arrivals are injected at their due times and
+# foreground completions never reach the repair collection path; with
+# ``foreground=None`` and ``governor=None`` each helper collapses to the
+# exact pre-loadgen call, keeping the repair-only path byte-identical
+# (guarded by tests/loadgen/test_equivalence.py).
+
+def _advance(sim: FluidSimulator, foreground, t: float):
+    """Advance the clock to ``t``; returns completed repair handles."""
+    if foreground is None:
+        return sim.advance_to(t)
+    return foreground.drive_to(t)
+
+
+def _run_until_event(sim: FluidSimulator, foreground, max_time: float):
+    """Run until a repair task completes (or ``max_time``)."""
+    if foreground is None:
+        return sim.run_until_completion(max_time=max_time)
+    return foreground.run_until_repair_event(max_time=max_time)
+
+
+def _apply_governor(
+    governor, foreground, sim: FluidSimulator,
+    in_flight: dict[int, _InFlight], registry: MetricsRegistry, tracer,
+) -> float | None:
+    """Consult the governor; retune every in-flight repair pipeline.
+
+    Returns the per-flow cap so newly submitted repairs start throttled
+    too.  The ``repair_rate_cap`` gauge reports -1 for "uncapped" (inf is
+    not JSON-serialisable).
+    """
+    if governor is None:
+        return None
+    cap = governor.repair_rate_cap(sim.now, foreground)
+    for flight in in_flight.values():
+        sim.set_task_max_rate(flight.handle, cap)
+    registry.gauge("repair_rate_cap").set(-1.0 if cap is None else cap)
+    if tracer.enabled:
+        tracer.instant(
+            "governor.decision", t=sim.now, track="governor",
+            policy=governor.name, cap=-1.0 if cap is None else cap,
+            in_flight=len(in_flight),
+        )
+    return cap
+
+
+def _event_bound(
+    driver: _FaultDriver, in_flight: dict[int, _InFlight],
+    sim: FluidSimulator, governor,
+) -> float:
+    """How far the simulator may free-run before the next decision point."""
+    bound = driver.run_bound(in_flight)
+    if governor is not None and math.isfinite(governor.decision_interval):
+        bound = min(bound, sim.now + governor.decision_interval)
+    return bound
+
+
+def _repaired_callback(foreground, failed_node: int):
+    """Completion hook telling the engine where rebuilt chunks now live."""
+    if foreground is None:
+        return None
+
+    def on_repaired(flight: _InFlight) -> None:
+        chunk_index = flight.stripe.chunk_on_node(failed_node)
+        if chunk_index is not None:
+            foreground.note_repaired(
+                flight.stripe, chunk_index, flight.plan.requestor
+            )
+
+    return on_repaired
 
 
 class _FaultDriver:
@@ -229,6 +310,9 @@ class _FaultDriver:
         self.tracer = tracer
         self.registry = registry
         self.active = bool(self.faults)
+        #: Clock-advance hook; orchestrators with foreground traffic swap
+        #: in the engine's drive so arrivals land inside detection windows.
+        self.advance = sim.advance_to
         self.injector = FaultInjector(self.faults, tracer, registry)
         self.requeued_ids: set[int] = set()
         self.failures: list[RepairFailed] = []
@@ -257,9 +341,7 @@ class _FaultDriver:
             return
         # Detection latency: healthy flights keep transferring while the
         # Master notices the failure.
-        done = self.sim.advance_to(
-            self.sim.now + self.policy.detection_timeout
-        )
+        done = self.advance(self.sim.now + self.policy.detection_timeout)
         collect(done)
         self.injector.announce_until(self.sim.now)
         for task_id in doomed:
@@ -340,8 +422,17 @@ def repair_full_node(
     tracer=NULL_TRACER,
     faults: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
+    foreground=None,
+    governor=None,
 ) -> FullNodeResult:
-    """Fixed-concurrency full-node repair (the non-adaptive orchestrator)."""
+    """Fixed-concurrency full-node repair (the non-adaptive orchestrator).
+
+    ``foreground`` (a :class:`~repro.loadgen.ForegroundEngine`) injects
+    client traffic as competing flows on the same simulator; ``governor``
+    (a :class:`~repro.loadgen.RepairQoSGovernor`) is consulted at every
+    decision point to throttle repair for foreground QoS.  Both default
+    to None, which leaves the repair-only path unchanged.
+    """
     if concurrency < 1:
         raise ClusterError("concurrency must be >= 1")
     config = config or ExecutionConfig()
@@ -359,13 +450,23 @@ def repair_full_node(
     driver = _FaultDriver(
         faults, retry_policy, sim, planner.name, tracer, registry
     )
+    if foreground is not None:
+        foreground.bind(sim, network)
+        driver.advance = foreground.drive_to
+    on_repaired = _repaired_callback(foreground, failed_node)
 
     def collect(done):
-        _collect(done, in_flight, results, registry, config)
+        _collect(
+            done, in_flight, results, registry, config,
+            on_repaired=on_repaired,
+        )
 
     with planner.traced(tracer):
         while pending or in_flight:
             driver.tick(in_flight, pending, collect)
+            cap = _apply_governor(
+                governor, foreground, sim, in_flight, registry, tracer
+            )
             while pending and len(in_flight) < concurrency:
                 stripe = pending.pop(0)
                 try:
@@ -380,17 +481,19 @@ def repair_full_node(
                     continue
                 # Planning is serial at the Master: the clock moves while it
                 # runs, and other tasks may complete in that window.
-                done_meanwhile = sim.advance_to(
-                    sim.now + plan.effective_planning_seconds
+                done_meanwhile = _advance(
+                    sim, foreground, sim.now + plan.effective_planning_seconds
                 )
                 collect(done_meanwhile)
                 driver.note_started(stripe, plan)
-                flight = _submit(sim, plan, config, stripe=stripe)
+                flight = _submit(
+                    sim, plan, config, stripe=stripe, max_rate=cap
+                )
                 in_flight[flight.handle.task_id] = flight
             if not in_flight:
                 continue
-            finished = sim.run_until_completion(
-                max_time=driver.run_bound(in_flight)
+            finished = _run_until_event(
+                sim, foreground, _event_bound(driver, in_flight, sim, governor)
             )
             collect(finished)
     return FullNodeResult(
@@ -414,8 +517,13 @@ def repair_full_node_adaptive(
     tracer=NULL_TRACER,
     faults: FaultPlan | None = None,
     retry_policy: RetryPolicy | None = None,
+    foreground=None,
+    governor=None,
 ) -> FullNodeResult:
-    """PivotRepair's adaptive full-node repair (recommendation values)."""
+    """PivotRepair's adaptive full-node repair (recommendation values).
+
+    ``foreground`` / ``governor`` behave as in :func:`repair_full_node`.
+    """
     scheduler = scheduler or SchedulerConfig()
     config = config or ExecutionConfig()
     network = FaultyNetwork.wrap(network, faults)
@@ -433,21 +541,32 @@ def repair_full_node_adaptive(
         faults, retry_policy, sim, f"{planner.name}+strategy", tracer,
         registry,
     )
+    if foreground is not None:
+        foreground.bind(sim, network)
+        driver.advance = foreground.drive_to
+    on_repaired = _repaired_callback(foreground, failed_node)
 
     def collect(done):
-        _collect(done, in_flight, results, registry, config)
+        _collect(
+            done, in_flight, results, registry, config,
+            on_repaired=on_repaired,
+        )
 
     with planner.traced(tracer):
         while pending or in_flight:
             driver.tick(in_flight, pending, collect)
+            cap = _apply_governor(
+                governor, foreground, sim, in_flight, registry, tracer
+            )
             _start_recommended(
                 planner, network, sim, pending, in_flight, failed_node,
                 scheduler, config, results, registry, tracer, driver,
+                foreground=foreground, on_repaired=on_repaired, max_rate=cap,
             )
             if not in_flight:
                 continue
-            finished = sim.run_until_completion(
-                max_time=driver.run_bound(in_flight)
+            finished = _run_until_event(
+                sim, foreground, _event_bound(driver, in_flight, sim, governor)
             )
             collect(finished)
     return FullNodeResult(
@@ -473,6 +592,9 @@ def _start_recommended(
     registry: MetricsRegistry | None = None,
     tracer=NULL_TRACER,
     driver: _FaultDriver | None = None,
+    foreground=None,
+    on_repaired=None,
+    max_rate: float | None = None,
 ) -> None:
     """Start best-stripe tasks while their recommendation clears the bar."""
     idle_since: float | None = None
@@ -531,16 +653,19 @@ def _start_recommended(
             if idle_since is None:
                 idle_since = sim.now
             if sim.now - idle_since < scheduler.max_idle_wait:
-                sim.advance_to(sim.now + scheduler.check_interval)
+                _advance(sim, foreground, sim.now + scheduler.check_interval)
                 continue
         idle_since = None
         pending.pop(
             next(i for i, s in enumerate(pending) if s is best_stripe)
         )
-        done_meanwhile = sim.advance_to(
-            sim.now + best_plan.effective_planning_seconds
+        done_meanwhile = _advance(
+            sim, foreground, sim.now + best_plan.effective_planning_seconds
         )
-        _collect(done_meanwhile, in_flight, results, registry, config)
+        _collect(
+            done_meanwhile, in_flight, results, registry, config,
+            on_repaired=on_repaired,
+        )
         if tracer.enabled:
             tracer.instant(
                 "scheduler.start", t=sim.now, track="scheduler",
@@ -549,7 +674,9 @@ def _start_recommended(
             )
         if driver is not None:
             driver.note_started(best_stripe, best_plan)
-        flight = _submit(sim, best_plan, config, stripe=best_stripe)
+        flight = _submit(
+            sim, best_plan, config, stripe=best_stripe, max_rate=max_rate
+        )
         in_flight[flight.handle.task_id] = flight
 
 

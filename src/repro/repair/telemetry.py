@@ -37,6 +37,8 @@ def registry_from_run(
         sim.stats.rate_recomputations
     )
     registry.counter("bytes_transferred").inc(sim.total_bytes_transferred)
+    for kind, amount in sorted(sim.stats.bytes_by_kind.items()):
+        registry.counter(f"bytes_kind/{kind}").inc(amount)
     for node, amount in sorted(sim.bytes_up.items()):
         registry.counter(f"bytes_up/{node}").inc(amount)
     for node, amount in sorted(sim.bytes_down.items()):

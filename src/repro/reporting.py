@@ -9,20 +9,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.units import to_mbps
+from repro.units import format_latency, to_mbps
 
 
 def format_seconds(value: float) -> str:
     """Human-scaled duration: us / ms / s with sensible precision."""
-    if value < 0:
-        return "-" + format_seconds(-value)
-    if value >= 100:
-        return f"{value:.3g} s"
-    if value >= 0.1:
-        return f"{value:.2f} s"
-    if value >= 1e-3:
-        return f"{value * 1e3:.2f} ms"
-    return f"{value * 1e6:.1f} us"
+    return format_latency(value, micro="us")
 
 
 def format_mbps(bytes_per_second: float) -> str:

@@ -41,3 +41,22 @@ def mib(value: float) -> int:
 def kib(value: float) -> int:
     """Convert KiB to bytes."""
     return int(value * KIB)
+
+
+def format_latency(seconds: float, micro: str = "µs") -> str:
+    """Auto-scaled human duration: µs / ms / s.
+
+    Latency-report formatting shared by :mod:`repro.reporting` and the
+    CLI.  ``micro`` lets ASCII-only consumers swap the µs glyph.
+    """
+    if seconds != seconds:  # NaN: no observations yet
+        return "n/a"
+    if seconds < 0:
+        return "-" + format_latency(-seconds, micro)
+    if seconds >= 100:
+        return f"{seconds:.3g} s"
+    if seconds >= 0.1:
+        return f"{seconds:.2f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds * 1e6:.1f} {micro}"

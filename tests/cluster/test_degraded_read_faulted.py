@@ -1,0 +1,166 @@
+"""Fault-aware degraded reads: re-planning mid-read, decode-verified.
+
+Composes the byte-accurate cluster with :mod:`repro.faults`: a client
+read hits a crashed node, the degraded-read tree loses a helper while
+the read is in flight, and the Master re-plans over the survivors.  The
+payload must still be the exact coded bytes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.core import BandwidthSnapshot, PivotRepairPlanner
+from repro.ec import RSCode
+from repro.exceptions import ClusterError
+from repro.faults import FaultPlan, RetryPolicy
+from repro.network.topology import StarNetwork
+from repro.units import gbps
+
+NODE_COUNT = 10
+CODE = RSCode(5, 3)
+CHUNK = 1024
+
+
+def make_cluster(seed=7):
+    rng = np.random.default_rng(seed)
+    cluster = Cluster(NODE_COUNT, CODE)
+    data = [
+        rng.integers(0, 256, size=CHUNK, dtype=np.uint8)
+        for _ in range(CODE.k)
+    ]
+    stripe = cluster.write_stripe(data, rng)
+    coded = CODE.encode(data)
+    return cluster, stripe, coded
+
+
+def first_plan_helpers(cluster, network, stripe, chunk_index, client):
+    """Helpers the first degraded-read plan will pick at t=0."""
+    holder = stripe.placement[chunk_index]
+    candidates = [
+        node
+        for node in stripe.surviving_nodes(holder)
+        if node != client
+    ]
+    snapshot = BandwidthSnapshot.from_network(network, 0.0)
+    plan = PivotRepairPlanner().plan(snapshot, client, candidates, CODE.k)
+    return sorted(plan.helpers)
+
+
+class TestDegradedReadFaulted:
+    def test_helper_crash_mid_read_replans_and_verifies(self):
+        cluster, stripe, coded = make_cluster()
+        network = StarNetwork.uniform(NODE_COUNT, gbps(1))
+        holder = stripe.placement[0]
+        cluster.fail_node(holder)
+        client = next(
+            n for n in range(NODE_COUNT) if n not in stripe.placement
+        )
+        victim = first_plan_helpers(cluster, network, stripe, 0, client)[0]
+        # The victim helper crashes inside the first attempt's 1 s window.
+        faults = FaultPlan.from_spec(f"crash:{victim}@0.3")
+        outcome = cluster.degraded_read_faulted(
+            PivotRepairPlanner(), network, stripe, 0, client, faults,
+            policy=RetryPolicy(detection_timeout=0.5),
+        )
+        assert outcome.attempts == 2
+        assert victim not in outcome.helpers
+        np.testing.assert_array_equal(outcome.payload, coded[0])
+        # Elapsed covers the crash, its detection, backoff, and the retry.
+        assert outcome.elapsed_seconds > 1.0
+
+    def test_fault_free_read_takes_one_attempt(self):
+        cluster, stripe, coded = make_cluster()
+        network = StarNetwork.uniform(NODE_COUNT, gbps(1))
+        holder = stripe.placement[1]
+        cluster.fail_node(holder)
+        client = next(
+            n for n in range(NODE_COUNT) if n not in stripe.placement
+        )
+        outcome = cluster.degraded_read_faulted(
+            PivotRepairPlanner(), network, stripe, 1, client,
+            FaultPlan.none(),
+        )
+        assert outcome.attempts == 1
+        np.testing.assert_array_equal(outcome.payload, coded[1])
+
+    def test_healthy_holder_served_directly(self):
+        cluster, stripe, coded = make_cluster()
+        network = StarNetwork.uniform(NODE_COUNT, gbps(1))
+        client = next(
+            n for n in range(NODE_COUNT) if n not in stripe.placement
+        )
+        outcome = cluster.degraded_read_faulted(
+            PivotRepairPlanner(), network, stripe, 2, client,
+            FaultPlan.none(),
+        )
+        assert outcome.attempts == 1
+        assert outcome.helpers == []
+        assert outcome.elapsed_seconds == 0.0
+        np.testing.assert_array_equal(outcome.payload, coded[2])
+
+    def test_fault_dead_holder_forces_degraded_path(self):
+        cluster, stripe, coded = make_cluster()
+        network = StarNetwork.uniform(NODE_COUNT, gbps(1))
+        holder = stripe.placement[0]
+        client = next(
+            n for n in range(NODE_COUNT) if n not in stripe.placement
+        )
+        # The holder is alive at the cluster level but dead per the fault
+        # plan (transient failure): the read must reconstruct.
+        faults = FaultPlan.from_spec(f"crash:{holder}@0")
+        outcome = cluster.degraded_read_faulted(
+            PivotRepairPlanner(), network, stripe, 0, client, faults,
+            start_time=1.0,
+        )
+        assert outcome.helpers != []
+        np.testing.assert_array_equal(outcome.payload, coded[0])
+
+    def test_too_few_survivors_raises(self):
+        cluster, stripe, _ = make_cluster()
+        network = StarNetwork.uniform(NODE_COUNT, gbps(1))
+        holder = stripe.placement[0]
+        cluster.fail_node(holder)
+        client = next(
+            n for n in range(NODE_COUNT) if n not in stripe.placement
+        )
+        survivors = stripe.surviving_nodes(holder)
+        dead = ";".join(f"crash:{n}@0" for n in survivors[: 2])
+        with pytest.raises(ClusterError, match="helpers usable"):
+            cluster.degraded_read_faulted(
+                PivotRepairPlanner(), network, stripe, 0, client,
+                FaultPlan.from_spec(dead), start_time=1.0,
+            )
+
+    def test_client_crash_raises(self):
+        cluster, stripe, _ = make_cluster()
+        network = StarNetwork.uniform(NODE_COUNT, gbps(1))
+        holder = stripe.placement[0]
+        cluster.fail_node(holder)
+        client = next(
+            n for n in range(NODE_COUNT) if n not in stripe.placement
+        )
+        with pytest.raises(ClusterError, match="crashed"):
+            cluster.degraded_read_faulted(
+                PivotRepairPlanner(), network, stripe, 0, client,
+                FaultPlan.from_spec(f"crash:{client}@0"), start_time=1.0,
+            )
+
+    def test_retry_budget_exhaustion_raises(self):
+        cluster, stripe, _ = make_cluster()
+        network = StarNetwork.uniform(NODE_COUNT, gbps(1))
+        holder = stripe.placement[0]
+        cluster.fail_node(holder)
+        client = next(
+            n for n in range(NODE_COUNT) if n not in stripe.placement
+        )
+        survivors = stripe.surviving_nodes(holder)
+        # Every few seconds another reader-set fault: with max_retries=0
+        # the first interruption exhausts the budget.
+        victim = first_plan_helpers(cluster, network, stripe, 0, client)[0]
+        faults = FaultPlan.from_spec(f"crash:{victim}@0.5")
+        with pytest.raises(ClusterError, match="gave up"):
+            cluster.degraded_read_faulted(
+                PivotRepairPlanner(), network, stripe, 0, client, faults,
+                policy=RetryPolicy(max_retries=0),
+            )

@@ -1,0 +1,213 @@
+"""Tests for the foreground traffic engine."""
+
+import math
+
+import pytest
+
+from repro.core import PivotRepairPlanner
+from repro.ec import RSCode, Stripe
+from repro.exceptions import LoadGenError
+from repro.loadgen import ClientRequest, ForegroundEngine, READ, WRITE
+from repro.network.simulator import FluidSimulator
+from repro.network.topology import StarNetwork
+from repro.units import gbps, mib
+
+CODE = RSCode(4, 2)
+NODE_COUNT = 8
+RATE = gbps(1)
+
+
+def make_stripe(stripe_id=0, placement=(0, 1, 2, 3)):
+    return Stripe(stripe_id, CODE, list(placement))
+
+
+def make_engine(requests, failed_nodes=(), stripes=None, **kwargs):
+    stripes = [make_stripe()] if stripes is None else stripes
+    network = StarNetwork.uniform(NODE_COUNT, RATE)
+    engine = ForegroundEngine(
+        stripes, requests, PivotRepairPlanner(),
+        failed_nodes=failed_nodes, **kwargs,
+    )
+    sim = FluidSimulator(network)
+    engine.bind(sim, network)
+    return engine, sim
+
+
+def read_request(arrival=0.0, chunk_index=0, client=5, size=mib(1)):
+    return ClientRequest(
+        arrival=arrival, kind=READ, stripe_id=0,
+        chunk_index=chunk_index, client=client, size=size,
+    )
+
+
+class TestBinding:
+    def test_requires_bind_before_driving(self):
+        engine = ForegroundEngine([make_stripe()], [], PivotRepairPlanner())
+        with pytest.raises(LoadGenError):
+            engine.drive_to(1.0)
+
+    def test_rebind_rejected(self):
+        engine, sim = make_engine([])
+        with pytest.raises(LoadGenError):
+            engine.bind(sim, sim.network)
+
+    def test_unknown_stripe_rejected(self):
+        stray = ClientRequest(
+            arrival=0.0, kind=READ, stripe_id=99, chunk_index=0,
+            client=5, size=mib(1),
+        )
+        with pytest.raises(LoadGenError):
+            ForegroundEngine(
+                [make_stripe()], [stray], PivotRepairPlanner()
+            )
+
+
+class TestNormalRead:
+    def test_read_becomes_foreground_flow(self):
+        engine, sim = make_engine([read_request()])
+        engine.drain()
+        assert len(engine.outcomes) == 1
+        outcome = engine.outcomes[0]
+        assert not outcome.degraded and not outcome.local
+        # One holder -> client flow of the full read size.
+        assert sim.stats.bytes_by_kind["foreground"] == pytest.approx(mib(1))
+        assert outcome.latency == pytest.approx(mib(1) / RATE)
+
+    def test_latency_includes_queueing_before_bind_time(self):
+        engine, sim = make_engine([read_request(arrival=2.0)])
+        engine.drain()
+        [outcome] = engine.outcomes
+        assert outcome.arrival == pytest.approx(2.0)
+        assert outcome.finished == pytest.approx(2.0 + mib(1) / RATE)
+
+    def test_summary_counts(self):
+        engine, _ = make_engine(
+            [read_request(arrival=0.0), read_request(arrival=0.1)]
+        )
+        engine.drain()
+        summary = engine.summary()
+        assert summary["requests"] == 2
+        assert summary["reads"] == 2
+        assert summary["read_latency"]["count"] == 2
+        assert summary["degraded_reads"] == 0
+        assert summary["bytes"] == pytest.approx(2 * mib(1))
+
+
+class TestDegradedRead:
+    def test_read_of_failed_node_takes_repair_tree(self):
+        engine, sim = make_engine([read_request()], failed_nodes={0})
+        engine.drain()
+        [outcome] = engine.outcomes
+        assert outcome.degraded
+        assert engine.degraded_reads == 1
+        # A pipelined tree moves size bytes on every edge (k helpers at
+        # least), strictly more than the plain read's single flow.
+        assert sim.stats.bytes_by_kind["foreground"] >= 2 * mib(1)
+        assert engine.summary()["degraded_latency"]["count"] == 1
+
+    def test_too_few_helpers_counts_failure(self):
+        # Failing a helper too leaves k-1 < k candidates.
+        engine, _ = make_engine([read_request()], failed_nodes={0, 1, 2})
+        engine.drain()
+        assert engine.outcomes == []
+        assert engine.summary()["read_failures"] == 1
+
+    def test_repaired_chunk_reads_normally_again(self):
+        engine, sim = make_engine(
+            [read_request(arrival=1.0)], failed_nodes={0}
+        )
+        engine.note_repaired(make_stripe(), 0, 6)
+        engine.drain()
+        [outcome] = engine.outcomes
+        assert not outcome.degraded
+        assert engine.degraded_reads == 0
+        assert sim.stats.bytes_by_kind["foreground"] == pytest.approx(mib(1))
+
+    def test_relocation_onto_client_serves_locally(self):
+        engine, sim = make_engine(
+            [read_request(arrival=1.0, client=6)], failed_nodes={0}
+        )
+        engine.note_repaired(make_stripe(), 0, 6)
+        engine.drain()
+        [outcome] = engine.outcomes
+        assert outcome.local
+        assert outcome.latency == 0.0
+        assert "foreground" not in sim.stats.bytes_by_kind
+
+
+class TestWrite:
+    def test_write_fans_out_to_stripe_nodes(self):
+        request = ClientRequest(
+            arrival=0.0, kind=WRITE, stripe_id=0, chunk_index=0,
+            client=5, size=mib(2),
+        )
+        engine, sim = make_engine([request])
+        engine.drain()
+        [outcome] = engine.outcomes
+        # n=4 holders, none of them the client: 4 flows of size/k each.
+        assert sim.stats.bytes_by_kind["foreground"] == pytest.approx(
+            4 * mib(2) / CODE.k
+        )
+        assert engine.summary()["write_latency"]["count"] == 1
+
+    def test_write_skips_failed_nodes(self):
+        request = ClientRequest(
+            arrival=0.0, kind=WRITE, stripe_id=0, chunk_index=0,
+            client=5, size=mib(2),
+        )
+        engine, sim = make_engine([request], failed_nodes={0})
+        engine.drain()
+        assert sim.stats.bytes_by_kind["foreground"] == pytest.approx(
+            3 * mib(2) / CODE.k
+        )
+        assert engine.summary()["degraded_writes"] == 1
+
+
+class TestDriving:
+    def test_run_until_repair_event_absorbs_foreground(self):
+        engine, sim = make_engine(
+            [read_request(arrival=0.0), read_request(arrival=0.05)]
+        )
+        repair = sim.submit_pipelined([(1, 4), (4, 5)], mib(64))
+        finished = engine.run_until_repair_event()
+        assert [h.task_id for h in finished] == [repair.task_id]
+        # Both client reads finished earlier and were absorbed silently.
+        assert len(engine.outcomes) == 2
+
+    def test_run_until_repair_event_honours_max_time(self):
+        engine, sim = make_engine([read_request()])
+        sim.submit_pipelined([(1, 4), (4, 5)], mib(512))
+        assert engine.run_until_repair_event(max_time=0.01) == []
+        assert sim.now == pytest.approx(0.01)
+
+    def test_drive_to_injects_arrivals_at_due_times(self):
+        engine, sim = make_engine(
+            [read_request(arrival=0.2), read_request(arrival=0.4)]
+        )
+        engine.drive_to(0.3)
+        assert engine.requests_remaining == 1
+        assert len(engine.outcomes) == 1
+        engine.drive_to(1.0)
+        assert engine.requests_remaining == 0
+        assert len(engine.outcomes) == 2
+
+    def test_goodput_counts_delivered_bytes(self):
+        engine, sim = make_engine([read_request()])
+        engine.drain()
+        elapsed = sim.now
+        assert engine.goodput() == pytest.approx(mib(1) / elapsed)
+
+
+class TestRecentWindow:
+    def test_recent_p99_expires_old_samples(self):
+        engine, sim = make_engine([], recent_window=1.0)
+        engine._recent.append((0.0, 0.5))
+        engine._recent.append((2.0, 0.1))
+        assert engine.recent_read_p99(2.5) == pytest.approx(0.1)
+        assert math.isnan(engine.recent_read_p99(10.0))
+
+    def test_p99_is_high_order_statistic(self):
+        engine, _ = make_engine([], recent_window=100.0)
+        for i in range(100):
+            engine._recent.append((1.0, (i + 1) / 100.0))
+        assert engine.recent_read_p99(1.0) == pytest.approx(0.99)

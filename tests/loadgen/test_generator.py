@@ -1,0 +1,175 @@
+"""Tests for the seeded foreground request generators."""
+
+import numpy as np
+import pytest
+
+from repro.ec import RSCode, place_stripes
+from repro.exceptions import LoadGenError
+from repro.loadgen import (
+    READ,
+    WRITE,
+    LoadProfile,
+    generate_requests,
+    rate_profile_from_trace,
+    zipf_weights,
+)
+from repro.traces import generate_trace
+from repro.traces.generators import PROFILES
+
+CODE = RSCode(5, 3)
+NODE_COUNT = 12
+
+
+def make_stripes(count=8, seed=0):
+    return place_stripes(count, CODE, NODE_COUNT, np.random.default_rng(seed))
+
+
+class TestLoadProfile:
+    def test_defaults_valid(self):
+        LoadProfile()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"arrival_rate": -1.0},
+            {"duration": 0.0},
+            {"read_fraction": 1.5},
+            {"request_size": 0},
+            {"zipf_s": -0.1},
+            {"modulation": "lunar"},
+            {"diurnal_amplitude": 1.0},
+            {"diurnal_period": 0.0},
+            {"burst_multiplier": 0.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(LoadGenError):
+            LoadProfile(**kwargs)
+
+
+class TestZipfWeights:
+    def test_normalised_and_decreasing(self):
+        weights = zipf_weights(10, 0.9)
+        assert weights.sum() == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_zero_exponent_is_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert np.allclose(weights, 0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LoadGenError):
+            zipf_weights(0, 1.0)
+
+
+class TestGenerateRequests:
+    def test_deterministic_for_seed(self):
+        stripes = make_stripes()
+        profile = LoadProfile(arrival_rate=40.0, duration=10.0)
+        a = generate_requests(profile, stripes, NODE_COUNT, seed=3)
+        b = generate_requests(profile, stripes, NODE_COUNT, seed=3)
+        assert a == b
+        c = generate_requests(profile, stripes, NODE_COUNT, seed=4)
+        assert a != c
+
+    def test_time_ordered_within_duration(self):
+        stripes = make_stripes()
+        profile = LoadProfile(arrival_rate=50.0, duration=5.0)
+        requests = generate_requests(profile, stripes, NODE_COUNT, seed=1)
+        arrivals = [r.arrival for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 5.0 for t in arrivals)
+
+    def test_read_fraction_respected(self):
+        stripes = make_stripes()
+        profile = LoadProfile(
+            arrival_rate=200.0, duration=10.0, read_fraction=0.8
+        )
+        requests = generate_requests(profile, stripes, NODE_COUNT, seed=0)
+        reads = sum(r.kind == READ for r in requests)
+        assert reads / len(requests) == pytest.approx(0.8, abs=0.05)
+        assert any(r.kind == WRITE for r in requests)
+
+    def test_reads_never_target_their_holder(self):
+        stripes = make_stripes()
+        by_id = {s.stripe_id: s for s in stripes}
+        profile = LoadProfile(arrival_rate=100.0, duration=5.0)
+        for request in generate_requests(profile, stripes, NODE_COUNT, seed=2):
+            if request.kind == READ:
+                holder = by_id[request.stripe_id].placement[
+                    request.chunk_index
+                ]
+                assert request.client != holder
+
+    def test_zipf_concentrates_on_low_stripe_ids(self):
+        stripes = make_stripes(count=10)
+        profile = LoadProfile(
+            arrival_rate=300.0, duration=10.0, zipf_s=1.2
+        )
+        requests = generate_requests(profile, stripes, NODE_COUNT, seed=0)
+        lowest = min(s.stripe_id for s in stripes)
+        hottest = max(
+            {r.stripe_id for r in requests},
+            key=lambda sid: sum(r.stripe_id == sid for r in requests),
+        )
+        assert hottest == lowest
+
+    def test_diurnal_modulates_rate_over_period(self):
+        stripes = make_stripes()
+        profile = LoadProfile(
+            arrival_rate=100.0, duration=100.0, modulation="diurnal",
+            diurnal_period=100.0, diurnal_amplitude=0.9,
+        )
+        requests = generate_requests(profile, stripes, NODE_COUNT, seed=0)
+        # sin() peaks in the first half of the period and dips in the
+        # second: the halves should differ markedly in arrival count.
+        first = sum(r.arrival < 50.0 for r in requests)
+        second = len(requests) - first
+        assert first > 1.5 * second
+
+    def test_burst_modulation_generates_more_than_base(self):
+        stripes = make_stripes()
+        base = LoadProfile(arrival_rate=50.0, duration=40.0)
+        bursty = LoadProfile(
+            arrival_rate=50.0, duration=40.0, modulation="bursts",
+            burst_rate=0.2, burst_duration=5.0, burst_multiplier=6.0,
+        )
+        n_base = len(generate_requests(base, stripes, NODE_COUNT, seed=0))
+        n_burst = len(generate_requests(bursty, stripes, NODE_COUNT, seed=0))
+        assert n_burst > n_base * 1.2
+
+    def test_trace_modulation_requires_profile(self):
+        stripes = make_stripes()
+        profile = LoadProfile(modulation="trace")
+        with pytest.raises(LoadGenError):
+            generate_requests(profile, stripes, NODE_COUNT, seed=0)
+
+    def test_trace_modulation_follows_shape(self):
+        stripes = make_stripes()
+        profile = LoadProfile(
+            arrival_rate=100.0, duration=20.0, modulation="trace"
+        )
+        shape = np.array([2.0] * 10 + [0.1] * 10)
+        requests = generate_requests(
+            profile, stripes, NODE_COUNT, seed=0, rate_profile=shape
+        )
+        busy = sum(r.arrival < 10.0 for r in requests)
+        quiet = len(requests) - busy
+        assert busy > 5 * max(quiet, 1)
+
+    def test_needs_stripes_and_nodes(self):
+        with pytest.raises(LoadGenError):
+            generate_requests(LoadProfile(), [], NODE_COUNT)
+        with pytest.raises(LoadGenError):
+            generate_requests(LoadProfile(), make_stripes(), 1)
+
+
+class TestRateProfileFromTrace:
+    def test_mean_one_and_floored(self):
+        trace = generate_trace(
+            PROFILES["TPC-DS"], node_count=8, duration=120, seed=0
+        )
+        profile = rate_profile_from_trace(trace)
+        assert profile.shape == (120,)
+        assert profile.min() >= 0.05
+        assert profile.mean() == pytest.approx(1.0, rel=0.25)

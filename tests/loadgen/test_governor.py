@@ -1,0 +1,136 @@
+"""Tests for the repair QoS governors."""
+
+import math
+
+import pytest
+
+from repro.exceptions import LoadGenError
+from repro.loadgen import (
+    AdaptiveSLOGovernor,
+    NoGovernor,
+    StaticCapGovernor,
+    make_governor,
+)
+from repro.units import mbps
+
+
+class _StubForeground:
+    """Engine stand-in answering recent_read_p99 from a script."""
+
+    def __init__(self, p99):
+        self.p99 = p99
+
+    def recent_read_p99(self, now):
+        return self.p99
+
+
+class TestFactory:
+    def test_names(self):
+        assert make_governor("none").name == "none"
+        assert make_governor("static").name == "static"
+        assert make_governor("adaptive").name == "adaptive"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(LoadGenError):
+            make_governor("vibes")
+
+    def test_kwargs_forwarded(self):
+        governor = make_governor("static", cap=mbps(100))
+        assert governor.cap == mbps(100)
+
+
+class TestNoGovernor:
+    def test_never_caps(self):
+        governor = NoGovernor()
+        assert governor.repair_rate_cap(0.0, _StubForeground(99.0)) is None
+        assert math.isinf(governor.decision_interval)
+
+
+class TestStaticCapGovernor:
+    def test_fixed_cap(self):
+        governor = StaticCapGovernor(cap=mbps(200))
+        assert governor.repair_rate_cap(0.0, None) == mbps(200)
+        assert governor.repair_rate_cap(5.0, _StubForeground(9.0)) == mbps(200)
+
+    def test_positive_cap_required(self):
+        with pytest.raises(LoadGenError):
+            StaticCapGovernor(cap=0.0)
+
+
+class TestAdaptiveSLOGovernor:
+    def make(self, **kwargs):
+        defaults = dict(
+            slo_p99=0.1, reference_rate=mbps(1000), floor_rate=mbps(50),
+            decrease=0.5, increase=2.0, relax_fraction=0.5,
+        )
+        defaults.update(kwargs)
+        return AdaptiveSLOGovernor(**defaults)
+
+    def test_uncapped_while_healthy(self):
+        governor = self.make()
+        assert governor.repair_rate_cap(0.0, _StubForeground(0.01)) is None
+
+    def test_backs_off_when_slo_violated(self):
+        governor = self.make()
+        slow = _StubForeground(0.5)
+        first = governor.repair_rate_cap(0.0, slow)
+        assert first == mbps(500)  # reference * decrease
+        second = governor.repair_rate_cap(1.0, slow)
+        assert second == mbps(250)
+
+    def test_never_below_floor(self):
+        governor = self.make()
+        slow = _StubForeground(1.0)
+        for t in range(20):
+            cap = governor.repair_rate_cap(float(t), slow)
+        assert cap == mbps(50)
+
+    def test_recovers_and_releases(self):
+        governor = self.make()
+        governor.repair_rate_cap(0.0, _StubForeground(0.5))  # cap 500
+        fast = _StubForeground(0.01)
+        assert governor.repair_rate_cap(1.0, fast) is None  # 500*2 >= ref
+
+    def test_holds_cap_between_relax_and_slo(self):
+        governor = self.make()
+        governor.repair_rate_cap(0.0, _StubForeground(0.5))  # cap 500
+        # p99 between relax_fraction*slo (0.05) and slo (0.1): hold.
+        assert governor.repair_rate_cap(1.0, _StubForeground(0.07)) == mbps(
+            500
+        )
+
+    def test_no_signal_relaxes_gently(self):
+        governor = self.make()
+        slow = _StubForeground(0.5)
+        governor.repair_rate_cap(0.0, slow)
+        governor.repair_rate_cap(1.0, slow)  # cap 250
+        quiet = _StubForeground(math.nan)
+        assert governor.repair_rate_cap(2.0, quiet) == mbps(500)
+        assert governor.repair_rate_cap(3.0, quiet) is None
+
+    def test_none_foreground_treated_as_no_signal(self):
+        governor = self.make()
+        assert governor.repair_rate_cap(0.0, None) is None
+
+    def test_decisions_logged(self):
+        governor = self.make()
+        governor.repair_rate_cap(0.0, _StubForeground(0.5))
+        governor.repair_rate_cap(1.0, _StubForeground(0.01))
+        assert len(governor.decisions) == 2
+        t, p99, cap = governor.decisions[0]
+        assert (t, p99, cap) == (0.0, 0.5, mbps(500))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"slo_p99": 0.0},
+            {"floor_rate": mbps(2000)},
+            {"decrease": 1.0},
+            {"increase": 1.0},
+            {"relax_fraction": 1.0},
+            {"decision_interval": 0.0},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(LoadGenError):
+            self.make(**kwargs)

@@ -94,3 +94,46 @@ class TestRegistry:
         registry.counter("a/1").inc()
         registry.histogram("h").observe(2.0)
         json.dumps(registry.snapshot())
+
+
+class TestHistogramReservoir:
+    def test_exact_below_threshold(self):
+        histogram = Histogram("h", reservoir_size=100)
+        for i in range(100):
+            histogram.observe(float(i))
+        assert len(histogram.samples) == 100
+        assert histogram.percentile(50) == 49.0
+
+    def test_memory_bounded_past_threshold(self):
+        histogram = Histogram("fg_read_latency", reservoir_size=64)
+        for i in range(10_000):
+            histogram.observe(float(i))
+        assert len(histogram.samples) == 64
+        assert histogram.count == 10_000
+        # min/max/mean stay exact even once sampling kicks in.
+        summary = histogram.summary()
+        assert summary["min"] == 0.0
+        assert summary["max"] == 9999.0
+        assert summary["mean"] == pytest.approx(4999.5)
+
+    def test_reservoir_is_name_seeded_deterministic(self):
+        def fill(name):
+            histogram = Histogram(name, reservoir_size=32)
+            for i in range(5000):
+                histogram.observe(float(i))
+            return list(histogram.samples)
+
+        assert fill("a") == fill("a")
+        assert fill("a") != fill("b")
+
+    def test_reservoir_percentiles_roughly_uniform(self):
+        histogram = Histogram("h", reservoir_size=1024)
+        for i in range(100_000):
+            histogram.observe(i / 100_000)
+        # A uniform reservoir over U[0,1): median near 0.5, p99 near 0.99.
+        assert histogram.percentile(50) == pytest.approx(0.5, abs=0.05)
+        assert histogram.percentile(99) == pytest.approx(0.99, abs=0.02)
+
+    def test_reservoir_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Histogram("h", reservoir_size=0)

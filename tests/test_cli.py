@@ -336,3 +336,74 @@ class TestFaultFlags:
         assert code == 0
         out = capsys.readouterr().out
         assert "faults" in out and "replans" in out
+
+
+class TestLoadCommand:
+    FAST = [
+        "--stripes", "8", "--chunk-mib", "64", "--arrival-rate", "80",
+        "--load-duration", "20", "--seed", "1",
+    ]
+
+    def test_json_payload_shape(self, trace_file, capsys):
+        code = main(["--json", "load", str(trace_file), *self.FAST])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace"] == "TPC-H"
+        assert payload["governor"] == "adaptive"
+        assert payload["requests"] > 0
+        assert payload["repair_seconds"] > 0
+        assert payload["bytes_by_kind"]["repair"] > 0
+        assert payload["bytes_by_kind"].get("foreground", 0) > 0
+        assert set(payload["read_latency_seconds"]) == {
+            "p50", "p95", "p99", "p99.9"
+        }
+
+    def test_degraded_reads_surface_under_load(self, trace_file, capsys):
+        code = main(
+            [
+                "--json", "load", str(trace_file), "--stripes", "16",
+                "--chunk-mib", "256", "--arrival-rate", "120",
+                "--load-duration", "30", "--seed", "0",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["degraded_reads"] > 0
+        assert payload["read_latency_seconds"]["p99"] is not None
+
+    def test_baseline_gives_repair_slowdown(self, trace_file, capsys):
+        code = main(["--json", "load", str(trace_file), *self.FAST])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repair_baseline_seconds"] > 0
+        assert payload["repair_slowdown"] == pytest.approx(
+            payload["repair_seconds"] / payload["repair_baseline_seconds"],
+            abs=0.01,
+        )
+
+    def test_no_baseline_skips_extra_run(self, trace_file, capsys):
+        code = main(
+            ["--json", "load", str(trace_file), *self.FAST, "--no-baseline"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repair_baseline_seconds"] is None
+        assert payload["repair_slowdown"] is None
+
+    def test_governor_none_accepted(self, trace_file, capsys):
+        code = main(
+            [
+                "--json", "load", str(trace_file), *self.FAST,
+                "--governor", "none", "--no-baseline",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["governor"] == "none"
+
+    def test_text_rendering_mentions_latency(self, trace_file, capsys):
+        code = main(["load", str(trace_file), *self.FAST, "--no-baseline"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p99" in out
+        assert "degraded" in out

@@ -36,3 +36,24 @@ class TestSizes:
         # 64 MiB at 450 Mb/s ~ 1.19 s (the Figure 4 optimum).
         seconds = units.mib(64) / units.mbps(450)
         assert seconds == pytest.approx(1.19, abs=0.01)
+
+
+class TestFormatLatency:
+    def test_nan_is_na(self):
+        assert units.format_latency(float("nan")) == "n/a"
+
+    def test_microseconds(self):
+        assert units.format_latency(250e-6) == "250.0 µs"
+        assert units.format_latency(250e-6, micro="us") == "250.0 us"
+
+    def test_milliseconds(self):
+        assert units.format_latency(0.0153) == "15.30 ms"
+
+    def test_seconds(self):
+        assert units.format_latency(1.5) == "1.50 s"
+
+    def test_large_values_compact(self):
+        assert units.format_latency(1234.5) == "1.23e+03 s"
+
+    def test_negative_mirrors_positive(self):
+        assert units.format_latency(-0.002) == "-2.00 ms"
