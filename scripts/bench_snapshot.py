@@ -1,0 +1,388 @@
+"""Perf-regression snapshot: pinned repair suites with wall-clock costs.
+
+Runs three deterministic suites —
+
+* ``single_chunk``: one repair per scheme on a fixed heterogeneous
+  network;
+* ``full_node``: a seeded multi-stripe full-node repair;
+* ``foreground_interference``: the same repair competing with a seeded
+  client workload through the adaptive QoS governor —
+
+and writes a snapshot JSON (``BENCH_pr4.json``) holding, per suite, the
+**simulated** results (repair seconds, sim steps, rate recomputations —
+bit-stable for a seed, so any drift is a behaviour change) and the
+**wall-clock** cost of running the suite (min over ``--repeats``).  It
+also measures flight-recorder overhead: the full-node suite runs again
+with a sampler attached, and the snapshot records the relative cost.
+
+With ``--compare previous.json`` the run gates like CI does:
+
+* simulated metrics must match the previous snapshot (tiny relative
+  tolerance) — a mismatch means the simulation changed, not the machine;
+* wall-clock metrics may not regress more than ``--tolerance`` (default
+  20%) after cross-machine calibration: each snapshot stores the timing
+  of a fixed pure-Python loop, and previous wall times are scaled by the
+  calibration ratio before comparing;
+* a missing or incompatible previous snapshot skips the gate (first run).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py --out BENCH_pr4.json \
+        [--compare BENCH_pr4.json] [--tolerance 0.2] [--repeats 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import PPTPlanner, RPPlanner
+from repro.core import PivotRepairPlanner
+from repro.ec import RSCode, place_stripes
+from repro.loadgen import (
+    ForegroundEngine,
+    LoadProfile,
+    generate_requests,
+    make_governor,
+)
+from repro.network.topology import StarNetwork
+from repro.obs import FlightRecorder
+from repro.repair import (
+    ExecutionConfig,
+    repair_full_node,
+    repair_single_chunk,
+)
+
+SNAPSHOT_VERSION = 1
+
+#: Relative tolerance for "deterministic" simulated metrics.
+SIM_RTOL = 1e-6
+
+NODE_COUNT = 16
+CODE = RSCode(6, 4)
+STRIPES = 96
+CHUNK = 64 * 1024 * 1024
+
+
+def _network() -> StarNetwork:
+    """Fixed mildly heterogeneous star (same spirit as chaos_smoke)."""
+    return StarNetwork.constant(
+        [1e8 + i * 3e6 for i in range(NODE_COUNT)],
+        [1e8 + i * 5e6 for i in range(NODE_COUNT)],
+    )
+
+
+def _pin_planning(planner):
+    """Zero the wall-measured planning charge for reproducible sim time."""
+    inner = planner.plan
+
+    def plan(*args, **kwargs):
+        result = inner(*args, **kwargs)
+        result.planning_seconds = 0.0
+        result.extrapolated_seconds = None
+        return result
+
+    planner.plan = plan
+    return planner
+
+
+def _sim_counters(telemetry: dict | None) -> dict:
+    counters = (telemetry or {}).get("counters", {})
+    return {
+        "sim_steps": int(counters.get("sim_steps", 0)),
+        "rate_recomputations": int(
+            counters.get("sim_rate_recomputations", 0)
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Suites (each returns {"sim": {...}, and is timed by the caller)
+# ----------------------------------------------------------------------
+def suite_single_chunk(sampler=None) -> dict:
+    """One repair per scheme per requestor; totals aggregated per scheme.
+
+    Iterating requestors keeps a single pass long enough to time while
+    still exercising every planner on the same fixed network.
+    """
+    network = _network()
+    config = ExecutionConfig(chunk_size=CHUNK)
+    schemes = {
+        "pivot": PivotRepairPlanner,
+        "rp": RPPlanner,
+        "ppt": lambda: PPTPlanner(tree_budget=200_000),
+    }
+    sim: dict = {}
+    for name, factory in sorted(schemes.items()):
+        transfer = 0.0
+        steps = 0
+        recomputations = 0
+        for requestor in range(8):
+            candidates = [
+                node for node in range(NODE_COUNT) if node != requestor
+            ]
+            result = repair_single_chunk(
+                _pin_planning(factory()), network, requestor=requestor,
+                candidates=candidates, k=CODE.k, config=config,
+                sampler=sampler,
+            )
+            transfer += result.transfer_seconds
+            counters = _sim_counters(result.telemetry)
+            steps += counters["sim_steps"]
+            recomputations += counters["rate_recomputations"]
+        sim[name] = {
+            "transfer_seconds": round(transfer, 9),
+            "sim_steps": steps,
+            "rate_recomputations": recomputations,
+        }
+    return {"sim": sim}
+
+
+def _full_node_once(sampler=None, with_foreground: bool = False) -> dict:
+    network = _network()
+    stripes = place_stripes(
+        STRIPES, CODE, NODE_COUNT, np.random.default_rng(5)
+    )
+    failed = stripes[0].placement[0]
+    config = ExecutionConfig(chunk_size=CHUNK)
+    foreground = None
+    governor = None
+    if with_foreground:
+        profile = LoadProfile(
+            name="bench",
+            arrival_rate=120.0,
+            duration=60.0,
+            read_fraction=0.9,
+            request_size=1024 * 1024,
+            zipf_s=0.9,
+        )
+        requests = generate_requests(
+            profile, stripes, NODE_COUNT, seed=5
+        )
+        foreground = ForegroundEngine(
+            stripes, requests, _pin_planning(PivotRepairPlanner()),
+            failed_nodes={failed},
+        )
+        governor = make_governor("adaptive")
+    result = repair_full_node(
+        _pin_planning(PivotRepairPlanner()), network, stripes, failed,
+        concurrency=4, config=config,
+        foreground=foreground, governor=governor, sampler=sampler,
+    )
+    if foreground is not None:
+        foreground.drain()
+    sim = {
+        "repair_seconds": round(result.total_seconds, 9),
+        "chunks_repaired": result.chunks_repaired,
+        **_sim_counters(result.telemetry),
+    }
+    if foreground is not None:
+        summary = foreground.summary()
+        sim["fg_requests"] = int(summary["requests"])
+        sim["fg_degraded_reads"] = int(summary["degraded_reads"])
+    return {"sim": sim}
+
+
+def suite_full_node(sampler=None) -> dict:
+    return _full_node_once(sampler=sampler)
+
+
+def suite_foreground_interference(sampler=None) -> dict:
+    return _full_node_once(sampler=sampler, with_foreground=True)
+
+
+SUITES = {
+    "single_chunk": suite_single_chunk,
+    "full_node": suite_full_node,
+    "foreground_interference": suite_foreground_interference,
+}
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+def _calibrate() -> float:
+    """Fixed pure-Python workload timing, for cross-machine scaling."""
+    best = math.inf
+    for _ in range(3):
+        started = time.perf_counter()
+        total = 0.0
+        for i in range(300_000):
+            total += (i % 97) * 1e-9
+        best = min(best, time.perf_counter() - started)
+    assert total >= 0
+    return best
+
+
+def _timed(fn, repeats: int):
+    """(result, min wall seconds) over ``repeats`` runs."""
+    best = math.inf
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return result, best
+
+
+def collect(repeats: int) -> dict:
+    snapshot: dict = {
+        "version": SNAPSHOT_VERSION,
+        "calibration_seconds": round(_calibrate(), 6),
+        "repeats": repeats,
+        "suites": {},
+    }
+    for name, fn in SUITES.items():
+        result, wall = _timed(fn, repeats)
+        snapshot["suites"][name] = {
+            "sim": result["sim"],
+            "wall_seconds": round(wall, 6),
+        }
+        print(f"{name}: wall {wall:.3f}s")
+    # Flight-recorder overhead on the busiest suite: same run, sampler on.
+    def sampled():
+        return suite_foreground_interference(
+            sampler=FlightRecorder(interval=0.25, capacity=65536)
+        )
+
+    reference = snapshot["suites"]["foreground_interference"]
+    plain_wall = reference["wall_seconds"]
+    sampled_result, sampled_wall = _timed(sampled, repeats)
+    if sampled_result["sim"] != reference["sim"]:
+        raise SystemExit(
+            "flight recorder changed simulated results — it must be "
+            "observation-only"
+        )
+    overhead = (
+        (sampled_wall - plain_wall) / plain_wall if plain_wall > 0 else 0.0
+    )
+    snapshot["sampler"] = {
+        "wall_plain_seconds": plain_wall,
+        "wall_sampled_seconds": round(sampled_wall, 6),
+        "overhead_fraction": round(overhead, 4),
+    }
+    print(
+        f"sampler overhead: {overhead:+.1%} "
+        f"({plain_wall:.3f}s -> {sampled_wall:.3f}s)"
+    )
+    return snapshot
+
+
+# ----------------------------------------------------------------------
+# Comparison gate
+# ----------------------------------------------------------------------
+def _flatten_sim(sim, prefix: str = "") -> dict:
+    flat = {}
+    for key, value in sim.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten_sim(value, path + "."))
+        else:
+            flat[path] = value
+    return flat
+
+
+def compare(current: dict, previous: dict, tolerance: float) -> list[str]:
+    """Regression gate; returns the failures (empty = pass)."""
+    if previous.get("version") != current["version"]:
+        print(
+            "previous snapshot has a different version — skipping the gate"
+        )
+        return []
+    failures = []
+    scale = current["calibration_seconds"] / max(
+        previous.get("calibration_seconds", 0.0), 1e-9
+    )
+    print(f"calibration scale vs previous snapshot: {scale:.2f}x")
+    for name, suite in current["suites"].items():
+        before = previous.get("suites", {}).get(name)
+        if before is None:
+            print(f"{name}: not in previous snapshot, skipping")
+            continue
+        old_flat = _flatten_sim(before.get("sim", {}))
+        for key, value in _flatten_sim(suite["sim"]).items():
+            old = old_flat.get(key)
+            if old is None:
+                continue
+            if isinstance(value, float) or isinstance(old, float):
+                drifted = abs(value - old) > SIM_RTOL * max(
+                    abs(value), abs(old), 1e-12
+                )
+            else:
+                drifted = value != old
+            if drifted:
+                failures.append(
+                    f"{name}: simulated metric {key} changed "
+                    f"{old!r} -> {value!r} (behaviour drift, not noise)"
+                )
+        # Absolute slack floors the budget so millisecond suites are not
+        # gated on scheduler noise; the heavy suites dominate their slack.
+        budget = before["wall_seconds"] * scale * (1.0 + tolerance) + 0.05
+        if suite["wall_seconds"] > budget:
+            failures.append(
+                f"{name}: wall {suite['wall_seconds']:.3f}s exceeds "
+                f"{budget:.3f}s (previous {before['wall_seconds']:.3f}s "
+                f"x {scale:.2f} calibration x {1 + tolerance:.2f} "
+                "tolerance)"
+            )
+        else:
+            print(
+                f"{name}: wall {suite['wall_seconds']:.3f}s within "
+                f"budget {budget:.3f}s"
+            )
+    previous_sampler = previous.get("sampler", {})
+    overhead = current["sampler"]["overhead_fraction"]
+    if overhead > 0.05:
+        failures.append(
+            "flight recorder overhead "
+            f"{overhead:.1%} exceeds the 5% budget "
+            f"(previous {previous_sampler.get('overhead_fraction', 0.0):.1%})"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", type=Path, default=Path("BENCH_pr4.json"),
+        help="snapshot file to write",
+    )
+    parser.add_argument(
+        "--compare", type=Path, default=None, metavar="PATH",
+        help="previous snapshot to gate against (skipped when absent)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed relative wall-clock regression (default 20%%)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="runs per suite; the minimum wall time is kept",
+    )
+    args = parser.parse_args()
+    previous = None
+    if args.compare is not None and args.compare.exists():
+        previous = json.loads(args.compare.read_text())
+    elif args.compare is not None:
+        print(f"no previous snapshot at {args.compare} — first run, no gate")
+    snapshot = collect(args.repeats)
+    args.out.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+    print(f"snapshot -> {args.out}")
+    if previous is not None:
+        failures = compare(snapshot, previous, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,12 @@ workflow:
 * ``repro load``            — full-node repair under foreground client
   load (trace-shaped arrivals, degraded reads, repair QoS governor);
 * ``repro experiment``      — regenerate a paper table or figure
-  (``table1``, ``fig5``, ``fig6a``, ``fig6b``, ``fig7``).
+  (``table1``, ``fig5``, ``fig6a``, ``fig6b``, ``fig7``);
+* ``repro explain``         — run (or re-read) a full-node repair and
+  diagnose where its time went: bottleneck link, achieved vs. oracle
+  ``B_min``, governor throttling, fault stalls;
+* ``repro report``          — the same diagnosis as a self-contained
+  single-file HTML dashboard (``--html out.html``).
 
 Every command supports ``--json`` for machine-readable output.
 Observability switches work on every simulation command: ``--trace
@@ -47,7 +52,16 @@ from repro.loadgen import (
     rate_profile_from_trace,
 )
 from repro.network.topology import StarNetwork
-from repro.obs import NULL_TRACER, Tracer, write_trace
+from repro.obs import (
+    NULL_TRACER,
+    FlightRecorder,
+    Tracer,
+    diagnose,
+    events_from_jsonl,
+    render_html_report,
+    samples_from_jsonl,
+    write_trace,
+)
 from repro.repair import (
     ExecutionConfig,
     repair_full_node,
@@ -227,7 +241,85 @@ def _build_parser() -> argparse.ArgumentParser:
         "--chunks", type=int, default=16,
         help="fig7: chunks erased from the failed node",
     )
+
+    explain = commands.add_parser(
+        "explain",
+        help="diagnose where a full-node repair's time went",
+        description="Scenario mode (.npz workload trace): run a seeded "
+        "full-node repair with the flight recorder on and attribute its "
+        "time. Saved-run mode (.jsonl event trace): diagnose an existing "
+        "trace, optionally with its --samples stream (no oracle B_min "
+        "without the network).",
+    )
+    _add_explain_args(explain)
+    explain.add_argument(
+        "--diagnosis-out", type=Path, default=None, metavar="PATH",
+        help="also write the structured diagnosis JSON to PATH",
+    )
+
+    report = commands.add_parser(
+        "report",
+        help="render the diagnosis as a single-file HTML dashboard",
+    )
+    _add_explain_args(report)
+    report.add_argument(
+        "--html", type=Path, required=True, metavar="PATH",
+        help="output HTML file (self-contained, inline SVG, no assets)",
+    )
     return parser
+
+
+def _add_explain_args(subparser) -> None:
+    """Shared scenario/saved-run options of ``explain`` and ``report``."""
+    subparser.add_argument(
+        "target", type=Path,
+        help=".npz workload trace (run a scenario) or .jsonl event trace "
+        "(diagnose a saved run)",
+    )
+    subparser.add_argument(
+        "--samples", type=Path, default=None, metavar="PATH",
+        help="flight-recorder JSONL matching a saved .jsonl event trace",
+    )
+    subparser.add_argument("--n", type=int, default=6)
+    subparser.add_argument("--k", type=int, default=4)
+    subparser.add_argument("--stripes", type=int, default=16)
+    subparser.add_argument("--chunk-mib", type=float, default=64)
+    subparser.add_argument("--concurrency", type=int, default=4)
+    subparser.add_argument("--seed", type=int, default=0)
+    subparser.add_argument(
+        "--scheme", choices=sorted(SCHEME_FACTORIES), default="pivot"
+    )
+    subparser.add_argument(
+        "--governor", choices=("none", "static", "adaptive"),
+        default="none", help="repair QoS policy for the scenario run",
+    )
+    subparser.add_argument(
+        "--static-cap-mbps", type=float, default=250.0,
+        help="static governor: per-repair-flow ceiling",
+    )
+    subparser.add_argument(
+        "--slo-ms", type=float, default=500.0,
+        help="adaptive governor: foreground p99 objective",
+    )
+    subparser.add_argument(
+        "--foreground-rate", type=float, default=0.0, metavar="RPS",
+        help="mean client requests/second (0 = no foreground load; "
+        "positive runs the repair under trace-modulated client traffic)",
+    )
+    subparser.add_argument(
+        "--sample-interval", type=float, default=0.25, metavar="SECONDS",
+        help="flight-recorder sampling period, simulated seconds",
+    )
+    subparser.add_argument(
+        "--sample-capacity", type=int, default=65536,
+        help="flight-recorder ring size (samples kept)",
+    )
+    subparser.add_argument(
+        "--planning-seconds", type=float, default=0.0,
+        help="fixed planning charge per stripe; pinned (instead of "
+        "wall-clock measured) so output is bit-reproducible per seed",
+    )
+    _add_fault_args(subparser)
 
 
 def _add_fault_args(subparser) -> None:
@@ -627,6 +719,162 @@ def _cmd_experiment(args, tracer=NULL_TRACER) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Diagnosis (explain / report)
+# ----------------------------------------------------------------------
+def _pin_planning(planner, seconds: float):
+    """Charge a fixed planning cost instead of measured wall time.
+
+    Wall-clock planning durations advance the simulated clock and differ
+    between runs of the same seed; pinning them keeps ``repro explain``
+    and ``repro report`` output bit-reproducible.
+    """
+    inner = planner.plan
+
+    def plan(*args, **kwargs):
+        result = inner(*args, **kwargs)
+        result.planning_seconds = seconds
+        result.extrapolated_seconds = None
+        return result
+
+    planner.plan = plan
+    return planner
+
+
+def _explain_run(args, tracer) -> tuple:
+    """(diagnosis, samples, meta) for ``explain``/``report``, either mode."""
+    if args.target.suffix == ".jsonl":
+        events = events_from_jsonl(args.target.read_text())
+        samples = (
+            samples_from_jsonl(args.samples.read_text())
+            if args.samples is not None
+            else []
+        )
+        diagnosis = diagnose(events, samples=samples)
+        meta = {
+            "mode": "saved",
+            "events": len(events),
+            "samples": len(samples),
+        }
+        return diagnosis, samples, meta
+    trace = WorkloadTrace.load(args.target)
+    code = RSCode(args.n, args.k)
+    rng = np.random.default_rng(args.seed)
+    stripes = place_stripes(args.stripes, code, trace.node_count, rng)
+    failed = stripes[0].placement[0]
+    config = ExecutionConfig(chunk_size=mib(args.chunk_mib))
+    faults, policy = _parse_faults(args)
+    sampler = FlightRecorder(
+        interval=args.sample_interval, capacity=args.sample_capacity
+    )
+    make_planner = SCHEME_FACTORIES[args.scheme]
+    foreground = None
+    if args.foreground_rate > 0:
+        # Mirrors `repro load`: full-capacity links, the measured trace
+        # shapes the client arrival rate.
+        network = StarNetwork.uniform(trace.node_count, trace.capacity)
+        profile = LoadProfile(
+            name=trace.name,
+            arrival_rate=args.foreground_rate,
+            duration=float(trace.sample_count),
+            read_fraction=0.9,
+            request_size=int(mib(1.0)),
+            zipf_s=0.9,
+            modulation="trace",
+        )
+        requests = generate_requests(
+            profile, stripes, trace.node_count, seed=args.seed,
+            rate_profile=rate_profile_from_trace(trace),
+        )
+        foreground = ForegroundEngine(
+            stripes, requests,
+            _pin_planning(make_planner(), args.planning_seconds),
+            failed_nodes={failed}, faults=faults,
+        )
+    else:
+        network = trace.to_network(floor=1e6)
+    governor = None
+    if args.governor != "none":
+        governor_kwargs = {
+            "static": {"cap": mbps(args.static_cap_mbps)},
+            "adaptive": {"slo_p99": args.slo_ms / 1000.0},
+        }[args.governor]
+        governor = make_governor(args.governor, **governor_kwargs)
+    result = repair_full_node(
+        _pin_planning(make_planner(), args.planning_seconds),
+        network, stripes, failed,
+        concurrency=args.concurrency, config=config, tracer=tracer,
+        faults=faults, retry_policy=policy,
+        foreground=foreground, governor=governor, sampler=sampler,
+    )
+    if foreground is not None:
+        foreground.drain()
+    diagnosis = diagnose(
+        tracer.events, network=network, telemetry=result.telemetry,
+        sampler=sampler,
+    )
+    meta = {
+        "mode": "scenario",
+        "trace": trace.name,
+        "failed_node": failed,
+        "seed": args.seed,
+        "scheme": args.scheme,
+        "governor": args.governor,
+        "foreground_rate": args.foreground_rate,
+        "repair_seconds": round(result.total_seconds, 3),
+        "samples": len(sampler.samples),
+    }
+    return diagnosis, list(sampler.samples), meta
+
+
+def _cmd_explain(args, tracer=NULL_TRACER) -> dict:
+    diagnosis, samples, meta = _explain_run(args, tracer)
+    # Stash for --trace chrome export (utilization counter tracks).
+    args.recorded_samples = samples
+    if args.diagnosis_out is not None:
+        args.diagnosis_out.write_text(diagnosis.to_json() + "\n")
+    header = (
+        f"scenario: {meta['trace']} seed {meta['seed']}, scheme "
+        f"{meta['scheme']}, governor {meta['governor']}, failed node "
+        f"{meta['failed_node']}"
+        if meta["mode"] == "scenario"
+        else f"saved run: {meta['events']} events, "
+        f"{meta['samples']} samples"
+    )
+    return {
+        "scenario": meta,
+        "diagnosis": diagnosis.to_dict(),
+        "rendered": header + "\n" + diagnosis.render(),
+    }
+
+
+def _cmd_report(args, tracer=NULL_TRACER) -> dict:
+    diagnosis, samples, meta = _explain_run(args, tracer)
+    args.recorded_samples = samples
+    title = f"repro run report: {meta.get('trace', args.target.name)}"
+    args.html.write_text(
+        render_html_report(diagnosis, samples=samples, title=title)
+    )
+    top = diagnosis.top_bottleneck
+    summary = (
+        f"report: {args.html} ({len(diagnosis.repairs)} repairs, "
+        f"{len(samples)} samples"
+    )
+    if top is not None:
+        summary += f"; bottleneck {top.describe()}"
+    if diagnosis.anomalies:
+        summary += f"; {len(diagnosis.anomalies)} ANOMALIES"
+    summary += ")"
+    return {
+        "scenario": meta,
+        "html": str(args.html),
+        "repairs": len(diagnosis.repairs),
+        "anomalies": diagnosis.anomalies,
+        "bottleneck": None if top is None else top.describe(),
+        "rendered": summary,
+    }
+
+
+# ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
 def _metrics_block(args, payload: dict) -> str:
@@ -645,7 +893,10 @@ def _metrics_block(args, payload: dict) -> str:
 
 def _render(args, payload: dict) -> str:
     if args.json:
+        payload = {k: v for k, v in payload.items() if k != "rendered"}
         return json.dumps(payload, indent=2)
+    if args.command in ("explain", "report"):
+        return payload["rendered"]
     if args.command == "plan":
         lines = [
             f"scheme: {payload['scheme']}",
@@ -773,7 +1024,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     _configure_logging(args.verbose)
-    tracing = args.trace is not None or args.timeline or args.metrics
+    tracing = (
+        args.trace is not None
+        or args.timeline
+        or args.metrics
+        or args.command in ("explain", "report")
+    )
     tracer = Tracer() if tracing else NULL_TRACER
     try:
         if args.command == "trace":
@@ -789,6 +1045,10 @@ def main(argv: list[str] | None = None) -> int:
             payload = _cmd_load(args, tracer)
         elif args.command == "experiment":
             payload = _cmd_experiment(args, tracer)
+        elif args.command == "explain":
+            payload = _cmd_explain(args, tracer)
+        elif args.command == "report":
+            payload = _cmd_report(args, tracer)
         else:
             payload = _cmd_fullnode(args, tracer)
     except (ReproError, FileNotFoundError) as error:
@@ -799,7 +1059,12 @@ def main(argv: list[str] | None = None) -> int:
         print(render_timeline(tracer.events))
     if args.trace is not None:
         try:
-            write_trace(tracer.events, args.trace, fmt=args.trace_format)
+            write_trace(
+                tracer.events,
+                args.trace,
+                fmt=args.trace_format,
+                samples=getattr(args, "recorded_samples", ()),
+            )
         except OSError as error:
             print(f"error: cannot write trace: {error}", file=sys.stderr)
             return 1
@@ -812,4 +1077,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly like
+        # other unix filters instead of dumping a traceback.
+        sys.stderr.close()
+        sys.exit(0)

@@ -46,6 +46,28 @@ class RepairQoSGovernor:
         """Per-flow byte-rate ceiling for repair tasks (None = uncapped)."""
         raise NotImplementedError
 
+    @property
+    def current_cap(self) -> float | None:
+        """Cap currently in force, without advancing the policy.
+
+        What observers (flight recorder, diagnosis, reports) read between
+        decision points; ``repair_rate_cap`` is the mutating decision.
+        """
+        return None
+
+    def state(self) -> dict:
+        """JSON-friendly view of the governor's live control state."""
+        cap = self.current_cap
+        return {
+            "policy": self.name,
+            "cap": cap,
+            "decision_interval": (
+                None
+                if math.isinf(self.decision_interval)
+                else self.decision_interval
+            ),
+        }
+
 
 class NoGovernor(RepairQoSGovernor):
     """Repair is never throttled."""
@@ -67,6 +89,10 @@ class StaticCapGovernor(RepairQoSGovernor):
         self.cap = float(cap)
 
     def repair_rate_cap(self, now, foreground):
+        return self.cap
+
+    @property
+    def current_cap(self):
         return self.cap
 
 
@@ -133,6 +159,10 @@ class AdaptiveSLOGovernor(RepairQoSGovernor):
                 grown = self._cap * self.increase
                 self._cap = None if grown >= self.reference_rate else grown
         self.decisions.append((now, p99, self._cap))
+        return self._cap
+
+    @property
+    def current_cap(self):
         return self._cap
 
 

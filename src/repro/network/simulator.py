@@ -108,10 +108,22 @@ class _Entity:
 class FluidSimulator:
     """Fluid simulator over a star network with time-varying capacities."""
 
-    def __init__(self, network, start_time: float = 0.0, tracer=NULL_TRACER):
+    def __init__(
+        self,
+        network,
+        start_time: float = 0.0,
+        tracer=NULL_TRACER,
+        sampler=None,
+    ):
         self.network = network
         self.now = float(start_time)
         self.tracer = tracer
+        #: Optional :class:`~repro.obs.sampler.FlightRecorder`.  ``None``
+        #: (the default) costs one ``is not None`` guard per event-loop
+        #: step and records nothing.
+        self.sampler = sampler
+        if sampler is not None:
+            sampler.bind(self)
         self.stats = SimulatorStats()
         #: Bytes carried so far per node, split by direction (uplink =
         #: node uploads, downlink = node receives).  Updated every step
@@ -239,6 +251,7 @@ class FluidSimulator:
             t=self.now,
             track=track,
             label=handle.label,
+            task=handle.task_id,
             shape=shape,
             kind=handle.kind,
             edges=[list(edge) for edge in edges],
@@ -246,7 +259,8 @@ class FluidSimulator:
         )
         self.tracer.instant(
             "flow.submit", t=self.now, track=track,
-            label=handle.label, edges=len(edges), kind=handle.kind,
+            label=handle.label, task=handle.task_id,
+            edges=len(edges), kind=handle.kind,
         )
 
     def _usage_of(self, edges) -> dict:
@@ -373,7 +387,8 @@ class FluidSimulator:
             span_id = self._task_spans.pop(handle.task_id, None)
             self.tracer.instant(
                 "flow.cancel", t=self.now, track=track,
-                label=handle.label, bytes_remaining=remaining,
+                label=handle.label, task=handle.task_id,
+                bytes_remaining=remaining,
             )
             if span_id is not None:
                 self.tracer.end(
@@ -412,6 +427,10 @@ class FluidSimulator:
         completed: list[TaskHandle] = []
         while self.now < t and any(self._task_entities.values()):
             completed.extend(self._advance(t))
+        if self.sampler is not None and t > self.now:
+            # Idle jump (no live tasks): sample the quiet gap too, so the
+            # recorded series stays aligned across the whole run.
+            self.sampler.on_window(self.now, t, ())
         self.now = max(self.now, t)
         self._rates_valid = False
         return completed
@@ -450,6 +469,10 @@ class FluidSimulator:
         elapsed = next_event - self.now
         if elapsed < 0:
             raise SimulationError("time went backwards")
+        if self.sampler is not None:
+            self.sampler.on_window(
+                self.now, next_event, self._entities.values()
+            )
         for entity in self._entities.values():
             transferred = entity.rate * elapsed
             entity.remaining -= transferred
@@ -497,7 +520,7 @@ class FluidSimulator:
                     span_id = self._task_spans.pop(entity.task_id, None)
                     self.tracer.instant(
                         "flow.finish", t=self.now, track=track,
-                        label=handle.label,
+                        label=handle.label, task=entity.task_id,
                         duration=handle.finish_time - handle.submit_time,
                     )
                     if span_id is not None:
@@ -538,5 +561,6 @@ class FluidSimulator:
                 t=self.now,
                 track=self._task_tracks.get(task_id, "sim"),
                 label=self._handles[task_id].label,
+                task=task_id,
                 rate=rate,
             )

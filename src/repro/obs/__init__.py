@@ -16,8 +16,25 @@ Three pieces, all dependency-free and usable independently:
   deterministic by default) and Chrome ``trace_event`` JSON loadable in
   ``chrome://tracing`` / Perfetto, one track per node plus planner and
   scheduler tracks.
+
+On top of those, run analysis:
+
+* :mod:`repro.obs.sampler` — the **flight recorder**, a periodic sampler
+  recording per-node link rates/utilization, per-class aggregate rates,
+  and the governor cap as aligned time series (off by default);
+* :mod:`repro.obs.analysis` — **bottleneck attribution**: decompose each
+  repair's wall time into ideal / contention / governor / stall against
+  an oracle ``B_min``, with invariant checks (``repro explain``);
+* :mod:`repro.obs.report` — a self-contained single-file HTML dashboard
+  for a diagnosed run (``repro report --html``).
 """
 
+from repro.obs.analysis import (
+    BottleneckLink,
+    RepairDiagnosis,
+    RunDiagnosis,
+    diagnose,
+)
 from repro.obs.export import (
     events_from_jsonl,
     to_chrome_trace,
@@ -25,18 +42,28 @@ from repro.obs.export import (
     write_trace,
 )
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import render_html_report
+from repro.obs.sampler import FlightRecorder, Sample, samples_from_jsonl
 from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
+    "BottleneckLink",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RepairDiagnosis",
+    "RunDiagnosis",
+    "Sample",
     "TraceEvent",
     "Tracer",
+    "diagnose",
     "events_from_jsonl",
+    "render_html_report",
+    "samples_from_jsonl",
     "to_chrome_trace",
     "to_jsonl",
     "write_trace",

@@ -66,23 +66,38 @@ def events_from_jsonl(text: str) -> list[TraceEvent]:
 
 
 def _track_order(tracks: Iterable[str]) -> dict[str, int]:
-    """Stable tid assignment: node tracks by id, then the rest by name."""
-    nodes = []
+    """Stable tid assignment.
+
+    ``node:<id>`` tracks come first ordered by id, then the other
+    ``<prefix>:<id>`` groups (``foreground:``, ``client:`` …) each
+    ordered numerically, then plain named tracks (``planner``,
+    ``scheduler``, ``faults`` …) by name.
+    """
+    groups: dict[str, list[tuple[int, str]]] = {}
     named = []
     for track in set(tracks):
-        if track.startswith("node:"):
-            try:
-                nodes.append((int(track.split(":", 1)[1]), track))
-                continue
-            except ValueError:
-                pass
-        named.append(track)
-    ordered = [track for _, track in sorted(nodes)] + sorted(named)
+        prefix, _, suffix = track.partition(":")
+        if suffix.isdigit():
+            groups.setdefault(prefix, []).append((int(suffix), track))
+        else:
+            named.append(track)
+    ordered = []
+    for prefix in ["node"] + sorted(set(groups) - {"node"}):
+        ordered.extend(track for _, track in sorted(groups.get(prefix, [])))
+    ordered.extend(sorted(named))
     return {track: tid for tid, track in enumerate(ordered)}
 
 
-def to_chrome_trace(events: Sequence[TraceEvent]) -> dict:
-    """Build the Chrome trace-event JSON object for a list of events."""
+def to_chrome_trace(
+    events: Sequence[TraceEvent], samples: Sequence = ()
+) -> dict:
+    """Build the Chrome trace-event JSON object for a list of events.
+
+    ``samples`` (flight-recorder :class:`~repro.obs.sampler.Sample`
+    records) become counter (``C``) series: per-node up/down link
+    utilization plus the aggregate per-class rates, rendered as stacked
+    counter tracks in Perfetto above the flow timeline.
+    """
     tids = _track_order(event.track for event in events)
     trace_events: list[dict] = [
         {
@@ -127,11 +142,48 @@ def to_chrome_trace(events: Sequence[TraceEvent]) -> dict:
         trace_events.append(
             _instant(begin.name, begin.t * 1e6, tids[track], begin.fields)
         )
+    for sample in samples:
+        trace_events.extend(_counters(sample))
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
         "otherData": {"source": "repro.obs", "time_unit": "sim-seconds"},
     }
+
+
+def _counters(sample) -> list[dict]:
+    """Counter (``C``) events for one flight-recorder sample."""
+    ts = sample.t * 1e6
+    out = []
+    for node in sorted(set(sample.up_util) | set(sample.down_util)):
+        out.append(
+            {
+                "name": f"util node {node}",
+                "ph": "C",
+                "ts": ts,
+                "pid": TRACE_PID,
+                "args": {
+                    # Saturated zero-capacity links sample as inf; clamp
+                    # so the JSON stays standard-parseable.
+                    direction: round(min(value, 1e6), 6)
+                    for direction, value in (
+                        ("up", sample.up_util.get(node, 0.0)),
+                        ("down", sample.down_util.get(node, 0.0)),
+                    )
+                },
+            }
+        )
+    if sample.rate_by_kind:
+        out.append(
+            {
+                "name": "rate by kind (bytes/s)",
+                "ph": "C",
+                "ts": ts,
+                "pid": TRACE_PID,
+                "args": dict(sorted(sample.rate_by_kind.items())),
+            }
+        )
+    return out
 
 
 def _instant(name: str, ts: float, tid: int, fields: dict) -> dict:
@@ -151,13 +203,20 @@ def write_trace(
     path: str | Path,
     fmt: str = "jsonl",
     include_wall: bool = False,
+    samples: Sequence = (),
 ) -> Path:
-    """Write events to ``path`` in ``jsonl`` or ``chrome`` format."""
+    """Write events to ``path`` in ``jsonl`` or ``chrome`` format.
+
+    ``samples`` only affects the ``chrome`` format, where they add
+    utilization/rate counter tracks (see :func:`to_chrome_trace`).
+    """
     path = Path(path)
     if fmt == "jsonl":
         path.write_text(to_jsonl(events, include_wall=include_wall))
     elif fmt == "chrome":
-        path.write_text(json.dumps(to_chrome_trace(events), indent=1))
+        path.write_text(
+            json.dumps(to_chrome_trace(events, samples=samples), indent=1)
+        )
     else:
         raise ValueError(f"unknown trace format {fmt!r}")
     return path

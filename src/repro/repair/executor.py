@@ -50,6 +50,7 @@ def execute_plan(
     tracer=NULL_TRACER,
     foreground=None,
     governor=None,
+    sampler=None,
 ) -> RepairResult:
     """Run a repair plan on a fresh simulator and time the transfer.
 
@@ -63,6 +64,8 @@ def execute_plan(
     ``governor`` (a :class:`~repro.loadgen.RepairQoSGovernor`) throttles
     the repair pipeline at its decision interval.  Pipelined plans only;
     both default to None, leaving the repair-only path unchanged.
+    ``sampler`` (a :class:`~repro.obs.FlightRecorder`) records aligned
+    utilization time series for post-run diagnosis.
     """
     config = config or ExecutionConfig()
     if (foreground is not None or governor is not None) and (
@@ -71,7 +74,9 @@ def execute_plan(
         raise PlanningError(
             "foreground-aware execution supports pipelined plans only"
         )
-    sim = FluidSimulator(network, start_time=start_time, tracer=tracer)
+    sim = FluidSimulator(
+        network, start_time=start_time, tracer=tracer, sampler=sampler
+    )
     if foreground is not None:
         foreground.bind(sim, network)
     if plan.is_pipelined:
@@ -137,6 +142,8 @@ def _run_pipelined(
             if governor is not None:
                 cap = governor.repair_rate_cap(sim.now, foreground)
                 sim.set_task_max_rate(handle, cap)
+                if sim.sampler is not None:
+                    sim.sampler.note_governor_cap(cap)
                 bound = sim.now + governor.decision_interval
             if foreground is not None:
                 foreground.run_until_repair_event(max_time=bound)
@@ -172,6 +179,7 @@ def repair_single_chunk(
     tracer=NULL_TRACER,
     foreground=None,
     governor=None,
+    sampler=None,
 ) -> RepairResult:
     """Plan (from a snapshot at ``start_time``) and execute one repair."""
     snapshot = BandwidthSnapshot.from_network(network, start_time)
@@ -179,7 +187,7 @@ def repair_single_chunk(
         plan = planner.plan(snapshot, requestor, candidates, k)
     return execute_plan(
         plan, network, start_time=start_time, config=config, tracer=tracer,
-        foreground=foreground, governor=governor,
+        foreground=foreground, governor=governor, sampler=sampler,
     )
 
 
@@ -259,6 +267,7 @@ def repair_single_chunk_faulted(
     start_time: float = 0.0,
     config: ExecutionConfig | None = None,
     tracer=NULL_TRACER,
+    sampler=None,
 ) -> RepairResult | RepairFailed:
     """Single-chunk repair under an injected fault plan.
 
@@ -277,7 +286,9 @@ def repair_single_chunk_faulted(
     policy = policy or RetryPolicy()
     config = config or ExecutionConfig()
     net = FaultyNetwork.wrap(network, faults)
-    sim = FluidSimulator(net, start_time=start_time, tracer=tracer)
+    sim = FluidSimulator(
+        net, start_time=start_time, tracer=tracer, sampler=sampler
+    )
     registry = MetricsRegistry()
     injector = FaultInjector(faults, tracer=tracer, registry=registry)
     candidates = list(candidates)

@@ -245,6 +245,8 @@ def _apply_governor(
     if governor is None:
         return None
     cap = governor.repair_rate_cap(sim.now, foreground)
+    if sim.sampler is not None:
+        sim.sampler.note_governor_cap(cap)
     for flight in in_flight.values():
         sim.set_task_max_rate(flight.handle, cap)
     registry.gauge("repair_rate_cap").set(-1.0 if cap is None else cap)
@@ -424,6 +426,7 @@ def repair_full_node(
     retry_policy: RetryPolicy | None = None,
     foreground=None,
     governor=None,
+    sampler=None,
 ) -> FullNodeResult:
     """Fixed-concurrency full-node repair (the non-adaptive orchestrator).
 
@@ -431,7 +434,9 @@ def repair_full_node(
     client traffic as competing flows on the same simulator; ``governor``
     (a :class:`~repro.loadgen.RepairQoSGovernor`) is consulted at every
     decision point to throttle repair for foreground QoS.  Both default
-    to None, which leaves the repair-only path unchanged.
+    to None, which leaves the repair-only path unchanged.  ``sampler``
+    (a :class:`~repro.obs.FlightRecorder`) records aligned utilization
+    time series for post-run diagnosis (:mod:`repro.obs.analysis`).
     """
     if concurrency < 1:
         raise ClusterError("concurrency must be >= 1")
@@ -442,7 +447,9 @@ def repair_full_node(
         "full-node repair (%s): node %d, %d stripes, concurrency %d",
         planner.name, failed_node, len(stripes), concurrency,
     )
-    sim = FluidSimulator(network, start_time=start_time, tracer=tracer)
+    sim = FluidSimulator(
+        network, start_time=start_time, tracer=tracer, sampler=sampler
+    )
     registry = MetricsRegistry()
     pending = list(stripes)
     in_flight: dict[int, _InFlight] = {}
@@ -519,10 +526,12 @@ def repair_full_node_adaptive(
     retry_policy: RetryPolicy | None = None,
     foreground=None,
     governor=None,
+    sampler=None,
 ) -> FullNodeResult:
     """PivotRepair's adaptive full-node repair (recommendation values).
 
-    ``foreground`` / ``governor`` behave as in :func:`repair_full_node`.
+    ``foreground`` / ``governor`` / ``sampler`` behave as in
+    :func:`repair_full_node`.
     """
     scheduler = scheduler or SchedulerConfig()
     config = config or ExecutionConfig()
@@ -532,7 +541,9 @@ def repair_full_node_adaptive(
         "adaptive full-node repair (%s): node %d, %d stripes",
         planner.name, failed_node, len(stripes),
     )
-    sim = FluidSimulator(network, start_time=start_time, tracer=tracer)
+    sim = FluidSimulator(
+        network, start_time=start_time, tracer=tracer, sampler=sampler
+    )
     registry = MetricsRegistry()
     pending = list(stripes)
     in_flight: dict[int, _InFlight] = {}

@@ -14,7 +14,15 @@ from repro.obs.metrics import MetricsRegistry
 __all__ = ["registry_from_run"]
 
 #: Tracer event-name prefixes surfaced as ``<prefix>_events`` counters.
-EVENT_PREFIXES = ("planner", "scheduler", "flow", "master", "fault", "repair")
+EVENT_PREFIXES = (
+    "planner",
+    "scheduler",
+    "flow",
+    "master",
+    "fault",
+    "repair",
+    "governor",
+)
 
 
 def registry_from_run(

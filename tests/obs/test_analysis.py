@@ -1,0 +1,301 @@
+"""Bottleneck-attribution tests: synthetic rate profiles + real runs.
+
+The synthetic cases drive :func:`repro.obs.diagnose` with hand-built
+event streams whose decomposition is known in closed form; the
+integration cases check the attribution identity on real simulator runs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import PivotRepairPlanner
+from repro.ec import RSCode, place_stripes
+from repro.network.topology import StarNetwork
+from repro.obs import Sample, Tracer, diagnose
+from repro.repair import repair_full_node
+from repro.repair.pipeline import ExecutionConfig
+
+
+BMIN = 100.0  # bytes/s claimed by the synthetic planner
+
+
+def synthetic_flow(
+    tracer: Tracer,
+    *,
+    task: int = 1,
+    submit: float = 0.0,
+    finish: float = 10.0,
+    rates=((0.0, BMIN),),
+    bytes_per_edge: float | None = None,
+    edges=((2, 1), (1, 0)),
+    label: str = "pivot-r0",
+    kind: str = "repair",
+    close: bool = True,
+):
+    """Emit a flow span shaped exactly like the simulator's."""
+    edges = [list(edge) for edge in edges]
+    if bytes_per_edge is None:
+        # Integrate the piecewise-constant profile so the identity holds.
+        bytes_per_edge = 0.0
+        points = list(rates) + [(finish, 0.0)]
+        for (t0, rate), (t1, _) in zip(points, points[1:]):
+            bytes_per_edge += rate * (t1 - t0)
+    tracer.begin(
+        "flow", t=submit, track="node:0", label=label, task=task,
+        shape="pipelined", kind=kind, edges=edges,
+        bytes_total=bytes_per_edge * len(edges),
+    )
+    for t, rate in rates:
+        tracer.instant(
+            "flow.rate_change", t=t, track="node:0", task=task, rate=rate
+        )
+    if close:
+        tracer.instant(
+            "flow.finish", t=finish, track="node:0", task=task
+        )
+    return bytes_per_edge
+
+
+def plan_event(tracer, *, t=0.0, requestor=0, bmin=BMIN, scheme="pivot"):
+    tracer.instant(
+        "planner.plan", t=t, track="planner", requestor=requestor,
+        bmin=bmin, scheme=scheme,
+    )
+
+
+class TestDecomposition:
+    def test_uncontended_flow_is_all_ideal(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        synthetic_flow(tracer, rates=((0.0, BMIN),), finish=10.0)
+        [diag] = diagnose(tracer.events).repairs
+        assert diag.reference == "claimed"
+        assert diag.claimed_bmin == BMIN
+        assert diag.components["ideal"] == pytest.approx(10.0)
+        assert diag.components["contention"] == pytest.approx(0.0)
+        assert diag.achieved_over_claimed == pytest.approx(1.0)
+        assert not diag.anomalies
+
+    def test_halved_rate_splits_ideal_and_contention(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        synthetic_flow(tracer, rates=((0.0, BMIN / 2),), finish=10.0)
+        [diag] = diagnose(tracer.events).repairs
+        assert diag.components["ideal"] == pytest.approx(5.0)
+        assert diag.components["contention"] == pytest.approx(5.0)
+        assert sum(diag.components.values()) == pytest.approx(diag.duration)
+
+    def test_rate_at_cap_attributes_to_governor(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        tracer.instant(
+            "governor.decision", t=0.0, track="governor", cap=BMIN / 2
+        )
+        synthetic_flow(tracer, rates=((0.0, BMIN / 2),), finish=10.0)
+        [diag] = diagnose(tracer.events).repairs
+        assert diag.components["governor"] == pytest.approx(5.0)
+        assert diag.components["contention"] == pytest.approx(0.0)
+
+    def test_uncapped_decision_disables_governor_attribution(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        tracer.instant(
+            "governor.decision", t=0.0, track="governor", cap=-1.0
+        )
+        synthetic_flow(tracer, rates=((0.0, BMIN / 2),), finish=10.0)
+        [diag] = diagnose(tracer.events).repairs
+        assert diag.components["governor"] == pytest.approx(0.0)
+        assert diag.components["contention"] == pytest.approx(5.0)
+
+    def test_zero_rate_interval_is_a_stall(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        synthetic_flow(
+            tracer,
+            rates=((0.0, BMIN), (4.0, 0.0), (7.0, BMIN)),
+            finish=10.0,
+        )
+        [diag] = diagnose(tracer.events).repairs
+        assert diag.components["stall"] == pytest.approx(3.0)
+        assert diag.components["ideal"] == pytest.approx(7.0)
+
+    def test_rate_above_reference_earns_negative_credit(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        synthetic_flow(
+            tracer,
+            rates=((0.0, BMIN / 2), (5.0, 2 * BMIN)),
+            finish=10.0,
+        )
+        [diag] = diagnose(tracer.events).repairs
+        assert diag.components["credit"] == pytest.approx(-5.0)
+        assert sum(diag.components.values()) == pytest.approx(diag.duration)
+
+    def test_same_timestamp_rate_changes_last_wins(self):
+        # Resubmission churn: two changes at t=0; only the second held.
+        tracer = Tracer()
+        plan_event(tracer)
+        synthetic_flow(
+            tracer,
+            rates=((0.0, BMIN), (0.0, BMIN / 2)),
+            bytes_per_edge=BMIN / 2 * 10.0,
+            finish=10.0,
+        )
+        run = diagnose(tracer.events)
+        [diag] = run.repairs
+        assert diag.components["contention"] == pytest.approx(5.0)
+        assert not diag.anomalies  # no residual: profile matches bytes
+
+
+class TestAnomalies:
+    def test_achieved_above_claimed_is_flagged(self):
+        tracer = Tracer()
+        plan_event(tracer, bmin=BMIN / 4)
+        synthetic_flow(tracer, rates=((0.0, BMIN),), finish=10.0)
+        run = diagnose(tracer.events)
+        assert any("exceeds claimed" in issue for issue in run.anomalies)
+
+    def test_unfinished_flow_is_flagged_and_skipped(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        synthetic_flow(tracer, close=False)
+        run = diagnose(tracer.events)
+        assert run.repairs == []
+        assert any("never finished" in issue for issue in run.anomalies)
+
+    def test_byte_conservation_violation_detected(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        synthetic_flow(tracer)
+        run = diagnose(
+            tracer.events,
+            telemetry={
+                "per_bytes_up": {"1": 1000.0, "2": 1000.0},
+                "per_bytes_down": {"0": 900.0, "1": 1000.0},
+                "counters": {},
+            },
+        )
+        assert any("conservation" in issue for issue in run.anomalies)
+
+    def test_residual_mismatch_detected(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        # Claimed bytes are double what the rate profile integrates to.
+        synthetic_flow(
+            tracer, rates=((0.0, BMIN),), bytes_per_edge=2 * BMIN * 10.0,
+            finish=10.0,
+        )
+        run = diagnose(tracer.events)
+        assert any("residual" in issue for issue in run.anomalies)
+
+
+class TestClaimedMatching:
+    def test_scheme_prefix_prevents_cross_matching(self):
+        tracer = Tracer()
+        plan_event(tracer, bmin=50.0, scheme="rp")
+        plan_event(tracer, bmin=BMIN, scheme="pivot")
+        synthetic_flow(tracer, label="pivot-r0", task=1)
+        synthetic_flow(tracer, label="rp-r0", task=2)
+        run = diagnose(tracer.events)
+        by_label = {d.label: d for d in run.repairs}
+        assert by_label["pivot-r0"].claimed_bmin == BMIN
+        assert by_label["rp-r0"].claimed_bmin == 50.0
+
+    def test_foreground_flows_are_not_diagnosed(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        synthetic_flow(tracer, task=1)
+        synthetic_flow(tracer, task=2, kind="foreground", label="client")
+        run = diagnose(tracer.events)
+        assert [d.label for d in run.repairs] == ["pivot-r0"]
+
+
+class TestBottleneckNaming:
+    def test_sampled_bottleneck_names_hottest_owned_link(self):
+        tracer = Tracer()
+        plan_event(tracer)
+        synthetic_flow(tracer, edges=((2, 1), (1, 0)))
+        samples = [
+            Sample(
+                t=float(t),
+                up_util={1: 0.99, 2: 0.30},
+                down_util={0: 0.50},
+            )
+            for t in range(11)
+        ]
+        run = diagnose(tracer.events, samples=samples)
+        [diag] = run.repairs
+        assert diag.bottleneck is not None
+        assert (diag.bottleneck.direction, diag.bottleneck.node) == ("up", 1)
+        assert diag.bottleneck.utilization == pytest.approx(0.99)
+        assert "uplink" in diag.bottleneck.describe()
+
+    def test_oracle_bmin_from_network(self):
+        # Chain 2 -> 1 -> 0: B_min = min(up2, min(up1, down1), down0).
+        ups = [500.0, 80.0, 300.0]
+        downs = [200.0, 400.0, 999.0]
+        network = StarNetwork.constant(ups, downs)
+        tracer = Tracer()
+        synthetic_flow(
+            tracer, rates=((0.0, 80.0),), finish=10.0,
+            edges=((2, 1), (1, 0)),
+        )
+        run = diagnose(tracer.events, network=network)
+        [diag] = run.repairs
+        assert diag.oracle_bmin == pytest.approx(80.0)
+        assert diag.reference == "oracle"
+        assert diag.achieved_over_oracle == pytest.approx(1.0)
+        # Static naming (no samples) points at node 1, the tight uplink.
+        assert diag.bottleneck is not None
+        assert diag.bottleneck.node == 1
+
+
+class TestRunAggregation:
+    def test_totals_and_json_rendering(self):
+        tracer = Tracer()
+        plan_event(tracer, requestor=0)
+        synthetic_flow(tracer, task=1, rates=((0.0, BMIN / 2),))
+        run = diagnose(tracer.events)
+        assert run.totals["contention"] == pytest.approx(
+            run.repairs[0].components["contention"]
+        )
+        payload = json.loads(run.to_json())
+        assert payload["repairs"][0]["reference"] == "claimed"
+        assert run.to_json() == run.to_json()  # stable
+        rendered = run.render()
+        assert "diagnosed 1 repair flow(s)" in rendered
+        assert "anomalies: none" in rendered
+
+    def test_real_run_attribution_identity(self):
+        code = RSCode(6, 4)
+        stripes = place_stripes(6, code, 10, np.random.default_rng(3))
+        network = StarNetwork.constant([500.0] * 10, [800.0] * 10)
+
+        class Pinned(PivotRepairPlanner):
+            def plan(self, *args, **kwargs):
+                plan = super().plan(*args, **kwargs)
+                plan.planning_seconds = 0.0
+                return plan
+
+        tracer = Tracer()
+        result = repair_full_node(
+            Pinned(), network, stripes, stripes[0].placement[0],
+            config=ExecutionConfig(
+                chunk_size=10_000, slice_size=1000, per_slice_overhead=0.0
+            ),
+            tracer=tracer,
+        )
+        run = diagnose(
+            tracer.events, network=network, telemetry=result.telemetry
+        )
+        assert len(run.repairs) == result.chunks_repaired
+        assert run.anomalies == []
+        for diag in run.repairs:
+            assert diag.reference == "oracle"
+            assert sum(diag.components.values()) == pytest.approx(
+                diag.duration, rel=1e-6
+            )
+        assert run.achieved_over_oracle is not None
+        assert 0 < run.achieved_over_oracle <= 1.01

@@ -11,9 +11,10 @@ import numpy as np
 from repro.core import PivotRepairPlanner
 from repro.ec import RSCode, place_stripes
 from repro.network.topology import StarNetwork
-from repro.obs import NULL_TRACER, Tracer, to_jsonl
+from repro.obs import NULL_TRACER, FlightRecorder, Tracer, diagnose, to_jsonl
 from repro.repair import (
     pipeline_bytes_per_edge,
+    repair_full_node,
     repair_full_node_adaptive,
     repair_single_chunk,
 )
@@ -143,6 +144,52 @@ class TestTelemetryConsistency:
         assert result.bytes_transferred == sum(
             telemetry["per_bytes_up"].values()
         )
+
+
+class TestSampledDeterminism:
+    """Same seed => byte-identical sample stream and diagnosis JSON."""
+
+    @staticmethod
+    def sampled_full_node():
+        stripes = place_stripes(6, CODE, NODE_COUNT, np.random.default_rng(3))
+        failed = stripes[0].placement[0]
+        network = seeded_network()
+        tracer = Tracer()
+        sampler = FlightRecorder(interval=0.001, capacity=65536)
+        result = repair_full_node(
+            ZeroCostPlanner(), network, stripes, failed,
+            config=small_config(), tracer=tracer, sampler=sampler,
+        )
+        diagnosis = diagnose(
+            tracer.events,
+            samples=list(sampler.samples),
+            network=network,
+            telemetry=result.telemetry,
+            sampler=sampler,
+        )
+        return result, sampler, diagnosis
+
+    def test_sample_stream_is_byte_identical(self):
+        _, first, _ = self.sampled_full_node()
+        _, second, _ = self.sampled_full_node()
+        assert len(first) > 0
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_diagnosis_json_is_byte_identical(self):
+        _, _, first = self.sampled_full_node()
+        _, _, second = self.sampled_full_node()
+        assert first.repairs
+        assert first.to_json() == second.to_json()
+
+    def test_sampling_does_not_change_results(self):
+        sampled, _, _ = self.sampled_full_node()
+        stripes = place_stripes(6, CODE, NODE_COUNT, np.random.default_rng(3))
+        plain = repair_full_node(
+            ZeroCostPlanner(), seeded_network(), stripes,
+            stripes[0].placement[0], config=small_config(),
+        )
+        assert plain.total_seconds == sampled.total_seconds
+        assert plain.bytes_transferred == sampled.bytes_transferred
 
 
 class TestFaultedDeterminism:

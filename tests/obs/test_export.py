@@ -1,10 +1,12 @@
 """Exporter tests: JSONL round-trip and Chrome trace-event schema."""
 
 import json
+import math
 
 import pytest
 
 from repro.obs import (
+    Sample,
     Tracer,
     events_from_jsonl,
     to_chrome_trace,
@@ -49,6 +51,17 @@ class TestJsonl:
     def test_empty_stream(self):
         assert to_jsonl([]) == ""
         assert events_from_jsonl("") == []
+
+    def test_round_trip_with_wall_times(self):
+        tracer = Tracer(record_wall=True)
+        span = tracer.begin("flow", t=0.5, track="node:1", label="x")
+        tracer.instant("flow.rate_change", t=0.75, track="node:1", rate=3.0)
+        tracer.end("flow", t=1.5, span_id=span, track="node:1")
+        parsed = events_from_jsonl(
+            to_jsonl(tracer.events, include_wall=True)
+        )
+        assert parsed == list(tracer.events)
+        assert all(event.wall is not None for event in parsed)
 
 
 class TestChromeTrace:
@@ -100,6 +113,55 @@ class TestChromeTrace:
             )
         ]
         assert names == ["node:1", "node:2", "node:10"]
+
+    def test_foreground_tracks_grouped_and_sorted_numerically(self):
+        tracer = Tracer()
+        for track in (
+            "foreground:10", "node:2", "foreground:3", "planner", "faults"
+        ):
+            tracer.instant("x", t=0.0, track=track)
+        trace = to_chrome_trace(tracer.events)
+        names = [
+            e["args"]["name"]
+            for e in sorted(
+                (e for e in trace["traceEvents"] if e["ph"] == "M"),
+                key=lambda e: e["tid"],
+            )
+        ]
+        assert names == [
+            "node:2", "foreground:3", "foreground:10", "faults", "planner"
+        ]
+
+    def test_samples_become_counter_events(self):
+        samples = [
+            Sample(
+                t=0.5,
+                up={0: 5e7},
+                down={1: 2.5e7},
+                up_util={0: 0.5},
+                down_util={1: 0.25},
+                rate_by_kind={"repair": 5e7, "foreground": 1e6},
+            )
+        ]
+        trace = to_chrome_trace(sample_tracer().events, samples=samples)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        by_name = {e["name"]: e for e in counters}
+        assert by_name["util node 0"]["args"] == {"up": 0.5, "down": 0.0}
+        assert by_name["util node 1"]["args"] == {"up": 0.0, "down": 0.25}
+        assert by_name["rate by kind (bytes/s)"]["args"] == {
+            "foreground": 1e6,
+            "repair": 5e7,
+        }
+        assert all(e["ts"] == pytest.approx(0.5e6) for e in counters)
+
+    def test_infinite_utilization_clamped_to_finite_json(self):
+        samples = [Sample(t=0.0, up_util={0: math.inf})]
+        trace = to_chrome_trace([], samples=samples)
+        text = json.dumps(trace, allow_nan=False)  # raises if inf leaks
+        [counter] = [
+            e for e in json.loads(text)["traceEvents"] if e["ph"] == "C"
+        ]
+        assert counter["args"]["up"] == 1e6
 
 
 class TestWriteTrace:

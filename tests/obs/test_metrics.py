@@ -1,10 +1,12 @@
 """Metrics registry unit tests."""
 
+import json
 import math
 
 import pytest
 
 from repro.obs import Histogram, MetricsRegistry
+from repro.obs.metrics import DEFAULT_RESERVOIR_SIZE
 
 
 class TestCounter:
@@ -137,3 +139,45 @@ class TestHistogramReservoir:
     def test_reservoir_size_must_be_positive(self):
         with pytest.raises(ValueError):
             Histogram("h", reservoir_size=0)
+
+    def test_exactly_default_reservoir_size_stays_exact(self):
+        # The 8192nd observation still fits: exact mode, no RNG yet.
+        histogram = Histogram("h")
+        for i in range(DEFAULT_RESERVOIR_SIZE):
+            histogram.observe(float(i))
+        assert len(histogram.samples) == DEFAULT_RESERVOIR_SIZE
+        assert histogram._rng is None
+        # Nearest-rank percentiles over 0..8191 are exact.
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(50) == 4095.0
+        assert histogram.percentile(100) == 8191.0
+        # One more observation tips into reservoir mode: the sample list
+        # stays bounded while count/min/max/mean remain exact.
+        histogram.observe(float(DEFAULT_RESERVOIR_SIZE))
+        assert len(histogram.samples) == DEFAULT_RESERVOIR_SIZE
+        assert histogram._rng is not None
+        assert histogram.count == DEFAULT_RESERVOIR_SIZE + 1
+        assert histogram.summary()["max"] == float(DEFAULT_RESERVOIR_SIZE)
+
+    def test_empty_histogram_snapshot(self):
+        registry = MetricsRegistry()
+        registry.histogram("planner_seconds")  # created, never observed
+        snapshot = registry.snapshot()
+        assert snapshot["histograms"]["planner_seconds"] == {"count": 0}
+        assert math.isnan(
+            registry.histogram("planner_seconds").percentile(50)
+        )
+        json.dumps(snapshot)  # an empty summary must stay serialisable
+
+    def test_reservoir_reproducible_across_registries(self):
+        def fill(registry):
+            histogram = registry.histogram("task_seconds")
+            for i in range(3 * DEFAULT_RESERVOIR_SIZE):
+                histogram.observe(float(i % 977))
+            return list(histogram.samples)
+
+        first = fill(MetricsRegistry())
+        second = fill(MetricsRegistry())
+        # Same name => same crc32 seed => identical reservoir contents,
+        # so two seeded runs snapshot identical percentiles.
+        assert first == second

@@ -1,0 +1,119 @@
+"""Flight-recorder tests: alignment, ring bounds, export, zero cost."""
+
+import numpy as np
+import pytest
+
+from repro.core import PivotRepairPlanner
+from repro.ec import RSCode, place_stripes
+from repro.exceptions import SimulationError
+from repro.network.topology import StarNetwork
+from repro.obs import FlightRecorder, samples_from_jsonl
+from repro.repair import repair_full_node, repair_single_chunk
+from repro.repair.pipeline import ExecutionConfig
+
+
+NODE_COUNT = 10
+CODE = RSCode(6, 4)
+
+
+def network():
+    return StarNetwork.constant([500.0] * NODE_COUNT, [800.0] * NODE_COUNT)
+
+
+def config():
+    return ExecutionConfig(
+        chunk_size=10_000, slice_size=1000, per_slice_overhead=0.0
+    )
+
+
+def sampled_single_chunk(sampler):
+    return repair_single_chunk(
+        PivotRepairPlanner(), network(), requestor=0,
+        candidates=range(1, NODE_COUNT), k=CODE.k, config=config(),
+        sampler=sampler,
+    )
+
+
+class TestValidation:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            FlightRecorder(interval=0.0)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            FlightRecorder(capacity=0)
+
+    def test_double_bind_rejected(self):
+        sampler = FlightRecorder(interval=0.1)
+        sampled_single_chunk(sampler)
+        with pytest.raises(SimulationError):
+            sampled_single_chunk(sampler)
+
+
+class TestSampling:
+    def test_ticks_are_interval_aligned(self):
+        sampler = FlightRecorder(interval=0.5)
+        sampled_single_chunk(sampler)
+        assert len(sampler) > 1
+        ticks = [sample.t for sample in sampler.samples]
+        assert ticks == sorted(ticks)
+        for index, t in enumerate(ticks):
+            assert t == pytest.approx(ticks[0] + index * 0.5)
+
+    def test_samples_see_repair_traffic(self):
+        sampler = FlightRecorder(interval=0.5)
+        result = sampled_single_chunk(sampler)
+        busy = [s for s in sampler.samples if s.rate_by_kind]
+        assert busy, "an active repair must show up in the samples"
+        for sample in busy:
+            assert sample.rate_by_kind.get("repair", 0.0) > 0
+            assert sample.active_by_kind.get("repair", 0) >= 1
+            # Utilization is rate over capacity, so it stays in (0, 1].
+            for series in (sample.up_util, sample.down_util):
+                for value in series.values():
+                    assert 0 < value <= 1.0 + 1e-9
+        assert result.transfer_seconds > 0
+
+    def test_ring_buffer_bounds_memory_and_counts_drops(self):
+        sampler = FlightRecorder(interval=0.01, capacity=8)
+        sampled_single_chunk(sampler)
+        assert len(sampler) == 8
+        assert sampler.dropped > 0
+        # The ring keeps the newest samples.
+        ticks = [sample.t for sample in sampler.samples]
+        assert ticks == sorted(ticks)
+
+    def test_peak_utilization_tracks_hot_links(self):
+        sampler = FlightRecorder(interval=0.1)
+        sampled_single_chunk(sampler)
+        peaks = sampler.peak_utilization()
+        assert peaks
+        assert max(peaks.values()) <= 1.0 + 1e-9
+        assert all(
+            direction in ("up", "down") for direction, _ in peaks
+        )
+
+    def test_disabled_by_default_and_observation_only(self):
+        plain = sampled_single_chunk(None)
+        sampler = FlightRecorder(interval=0.05)
+        sampled = sampled_single_chunk(sampler)
+        assert plain.transfer_seconds == sampled.transfer_seconds
+        assert plain.bytes_transferred == sampled.bytes_transferred
+
+
+class TestExport:
+    def test_jsonl_round_trip(self):
+        sampler = FlightRecorder(interval=0.25)
+        stripes = place_stripes(4, CODE, NODE_COUNT, np.random.default_rng(3))
+        repair_full_node(
+            PivotRepairPlanner(), network(), stripes,
+            stripes[0].placement[0], config=config(), sampler=sampler,
+        )
+        text = sampler.to_jsonl()
+        assert text.endswith("\n")
+        parsed = samples_from_jsonl(text)
+        assert parsed == list(sampler.samples)
+
+    def test_empty_recorder_serialises_to_empty_stream(self):
+        assert FlightRecorder().to_jsonl() == ""
+        assert samples_from_jsonl("") == []

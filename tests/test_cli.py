@@ -407,3 +407,103 @@ class TestLoadCommand:
         out = capsys.readouterr().out
         assert "p99" in out
         assert "degraded" in out
+
+
+class TestExplainCommands:
+    FAST = [
+        "--n", "6", "--k", "4", "--stripes", "4", "--chunk-mib", "4",
+        "--seed", "3",
+    ]
+
+    def test_explain_scenario_names_bottleneck(self, trace_file, capsys):
+        code = main(["explain", str(trace_file), *self.FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "diagnosed" in out
+        assert "bottleneck:" in out
+        assert "B_min" in out
+        assert "waterfall" in out
+
+    def test_explain_json_payload(self, trace_file, capsys):
+        code = main(["--json", "explain", str(trace_file), *self.FAST])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"]["mode"] == "scenario"
+        diagnosis = payload["diagnosis"]
+        assert diagnosis["repairs"]
+        assert diagnosis["top_bottleneck"] is not None
+        for repair in diagnosis["repairs"]:
+            assert repair["reference"] in ("oracle", "claimed", "none")
+
+    def test_explain_writes_diagnosis_file(self, trace_file, tmp_path, capsys):
+        out_file = tmp_path / "diagnosis.json"
+        code = main(
+            ["explain", str(trace_file), *self.FAST,
+             "--diagnosis-out", str(out_file)]
+        )
+        assert code == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["repairs"]
+
+    def test_explain_is_deterministic(self, trace_file, tmp_path):
+        outs = []
+        for name in ("a.json", "b.json"):
+            out_file = tmp_path / name
+            code = main(
+                ["explain", str(trace_file), *self.FAST,
+                 "--diagnosis-out", str(out_file)]
+            )
+            assert code == 0
+            outs.append(out_file.read_bytes())
+        assert outs[0] == outs[1]
+
+    def test_explain_saved_jsonl_trace(self, trace_file, tmp_path, capsys):
+        saved = tmp_path / "run.jsonl"
+        code = main(
+            ["--trace", str(saved), "fullnode", str(trace_file),
+             "--n", "6", "--k", "4", "--stripes", "4", "--chunk-mib", "4"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        code = main(["explain", str(saved)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saved run:" in out
+        assert "diagnosed" in out
+
+    def test_explain_governed_run_reports_governor(self, trace_file, capsys):
+        code = main(
+            ["explain", str(trace_file), *self.FAST,
+             "--governor", "static", "--static-cap-mbps", "20",
+             "--foreground-rate", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "governor:" in out
+
+    def test_report_writes_html(self, trace_file, tmp_path, capsys):
+        html_file = tmp_path / "run.html"
+        code = main(
+            ["report", str(trace_file), *self.FAST,
+             "--html", str(html_file)]
+        )
+        assert code == 0
+        html = html_file.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "<svg" in html
+        assert "report:" in capsys.readouterr().out
+
+    def test_explain_chrome_trace_includes_counters(
+        self, trace_file, tmp_path, capsys
+    ):
+        chrome = tmp_path / "trace.json"
+        code = main(
+            ["--trace", str(chrome), "--trace-format", "chrome",
+             "explain", str(trace_file), *self.FAST]
+        )
+        assert code == 0
+        payload = json.loads(chrome.read_text())
+        counters = [
+            e for e in payload["traceEvents"] if e["ph"] == "C"
+        ]
+        assert counters, "flight-recorder samples must export as counters"
