@@ -12,8 +12,10 @@ and writes a snapshot JSON (``BENCH_pr4.json``) holding, per suite, the
 **simulated** results (repair seconds, sim steps, rate recomputations —
 bit-stable for a seed, so any drift is a behaviour change) and the
 **wall-clock** cost of running the suite (min over ``--repeats``).  It
-also measures flight-recorder overhead: the full-node suite runs again
-with a sampler attached, and the snapshot records the relative cost.
+also measures observation costs: the full-node suite runs again with a
+flight-recorder sampler attached, and again with a durable repair
+journal writing to a real file; the snapshot records both relative
+costs (each gated at 5% when comparing).
 
 With ``--compare previous.json`` the run gates like CI does:
 
@@ -37,6 +39,7 @@ import argparse
 import json
 import math
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -58,6 +61,7 @@ from repro.repair import (
     repair_full_node,
     repair_single_chunk,
 )
+from repro.resilience import RepairJournal
 
 SNAPSHOT_VERSION = 1
 
@@ -144,7 +148,9 @@ def suite_single_chunk(sampler=None) -> dict:
     return {"sim": sim}
 
 
-def _full_node_once(sampler=None, with_foreground: bool = False) -> dict:
+def _full_node_once(
+    sampler=None, with_foreground: bool = False, journal=None
+) -> dict:
     network = _network()
     stripes = place_stripes(
         STRIPES, CODE, NODE_COUNT, np.random.default_rng(5)
@@ -174,6 +180,7 @@ def _full_node_once(sampler=None, with_foreground: bool = False) -> dict:
         _pin_planning(PivotRepairPlanner()), network, stripes, failed,
         concurrency=4, config=config,
         foreground=foreground, governor=governor, sampler=sampler,
+        journal=journal,
     )
     if foreground is not None:
         foreground.drain()
@@ -271,6 +278,35 @@ def collect(repeats: int) -> dict:
         f"sampler overhead: {overhead:+.1%} "
         f"({plain_wall:.3f}s -> {sampled_wall:.3f}s)"
     )
+    # Journal overhead: the full-node suite again with a durable repair
+    # journal (real file, real fsyncs).  The journal must be write-only
+    # in the fault-free path — identical simulated results — and cheap.
+    def journaled():
+        with tempfile.TemporaryDirectory() as tmp:
+            with RepairJournal(Path(tmp) / "bench.jsonl") as journal:
+                return _full_node_once(journal=journal)
+
+    reference = snapshot["suites"]["full_node"]
+    plain_wall = reference["wall_seconds"]
+    journaled_result, journaled_wall = _timed(journaled, repeats)
+    if journaled_result["sim"] != reference["sim"]:
+        raise SystemExit(
+            "repair journal changed simulated results — the fault-free "
+            "path must be byte-identical with journaling on"
+        )
+    overhead = (
+        (journaled_wall - plain_wall) / plain_wall if plain_wall > 0
+        else 0.0
+    )
+    snapshot["journal"] = {
+        "wall_plain_seconds": plain_wall,
+        "wall_journaled_seconds": round(journaled_wall, 6),
+        "overhead_fraction": round(overhead, 4),
+    }
+    print(
+        f"journal overhead: {overhead:+.1%} "
+        f"({plain_wall:.3f}s -> {journaled_wall:.3f}s)"
+    )
     return snapshot
 
 
@@ -344,6 +380,14 @@ def compare(current: dict, previous: dict, tolerance: float) -> list[str]:
             f"{overhead:.1%} exceeds the 5% budget "
             f"(previous {previous_sampler.get('overhead_fraction', 0.0):.1%})"
         )
+    # Older snapshots predate the repair journal; gate only when measured.
+    if "journal" in current:
+        journal_overhead = current["journal"]["overhead_fraction"]
+        if journal_overhead > 0.05:
+            failures.append(
+                "repair journal overhead "
+                f"{journal_overhead:.1%} exceeds the 5% budget"
+            )
     return failures
 
 

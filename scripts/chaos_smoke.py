@@ -1,10 +1,18 @@
-"""CI chaos smoke: faulted full-node repair must re-plan and complete.
+"""CI chaos smoke: faulted repairs must re-plan, resume, and hedge.
 
-Runs a seeded full-node repair with a helper crash injected mid-run, for
-several seeds, and asserts that every run detected the crash, re-planned
-at least one stripe (nonzero ``replans`` counter), and still repaired
-every chunk.  Exercises the fault-injection path end to end the way
-``repro fullnode --faults`` does.
+Three scenarios, all seeded and deterministic:
+
+* **replan** (per seed): a full-node repair with a helper crash injected
+  mid-run must detect the crash, re-plan at least one stripe (nonzero
+  ``replans`` counter), and still repair every chunk — the
+  ``repro fullnode --faults`` path end to end.
+* **resume**: the same crash with a repair journal attached must
+  checkpoint slice progress and restart the re-planned stripes from
+  their watermarks (``task_start`` records with ``start_slice > 0``),
+  not from slice zero.
+* **hedge**: a gray failure (helper degraded to 5%, never crashing)
+  must trip the health monitor and finish via an adopted hedged
+  re-plan instead of limping at the degraded rate.
 """
 
 import sys
@@ -15,11 +23,13 @@ from repro.core import PivotRepairPlanner
 from repro.ec import RSCode, place_stripes
 from repro.faults import FaultPlan, RetryPolicy
 from repro.network.topology import StarNetwork
-from repro.repair import repair_full_node
+from repro.repair import repair_full_node, repair_single_chunk_faulted
 from repro.repair.pipeline import ExecutionConfig
+from repro.resilience import HealthPolicy, RepairJournal
 
 NODE_COUNT = 12
 CODE = RSCode(6, 4)
+MiB = 1024 * 1024
 
 
 def run(seed: int) -> dict:
@@ -38,7 +48,7 @@ def run(seed: int) -> dict:
     )
     result = repair_full_node(
         PivotRepairPlanner(), network, stripes, failed,
-        config=ExecutionConfig(chunk_size=64 * 1024 * 1024),
+        config=ExecutionConfig(chunk_size=64 * MiB),
         faults=FaultPlan.from_spec(spec),
         retry_policy=RetryPolicy(),
     )
@@ -49,6 +59,56 @@ def run(seed: int) -> dict:
         "detections": int(counters.get("fault_detections", 0)),
         "repaired": result.chunks_repaired,
         "failed": result.chunks_failed,
+    }
+
+
+def run_resume() -> dict:
+    """Crash mid-repair with a journal: re-plans must resume, not restart."""
+    stripes = place_stripes(6, CODE, NODE_COUNT, np.random.default_rng(7))
+    failed = stripes[0].placement[0]
+    victim = stripes[0].placement[1]
+    journal = RepairJournal()
+    result = repair_full_node(
+        PivotRepairPlanner(), StarNetwork.uniform(NODE_COUNT, 50 * MiB),
+        stripes, failed,
+        config=ExecutionConfig(chunk_size=4 * MiB, slice_size=16 * 1024),
+        faults=FaultPlan.from_spec(f"crash:{victim}@0.02"),
+        retry_policy=RetryPolicy(), journal=journal,
+    )
+    resumed = sum(
+        1
+        for record in journal.all("task_start")
+        if record.data["start_slice"] > 0
+    )
+    return {
+        "progress": len(journal.all("progress")),
+        "resumed": resumed,
+        "repaired": result.chunks_repaired,
+        "failed": result.chunks_failed,
+    }
+
+
+def run_hedge() -> dict:
+    """Gray failure: straggler detection must win via a hedged re-plan."""
+    victim = 3
+    network = StarNetwork.constant(
+        [12 * MiB if i == victim else 10 * MiB for i in range(8)],
+        [12 * MiB if i == victim else 10 * MiB for i in range(8)],
+    )
+    result = repair_single_chunk_faulted(
+        PivotRepairPlanner(), network, 0, [1, 2, 3, 4, 5], CODE.k,
+        FaultPlan.from_spec(f"degrade:{victim}@0.1-1000x0.05"),
+        policy=RetryPolicy(detection_timeout=0.05),
+        config=ExecutionConfig(chunk_size=8 * MiB, slice_size=32 * 1024),
+        health=HealthPolicy(),
+    )
+    return {
+        "ok": bool(result.ok),
+        "hedges": result.hedges,
+        "stragglers": int(
+            result.telemetry["counters"].get("stragglers", 0)
+        ),
+        "transfer_seconds": round(result.transfer_seconds, 3),
     }
 
 
@@ -63,8 +123,28 @@ def main() -> int:
         )
         if stats["replans"] < 1 or stats["failed"] > 0:
             bad = True
+
+    resume = run_resume()
+    print(
+        "resume: {progress} progress records, {resumed} resumed starts, "
+        "{repaired} repaired, {failed} failed".format(**resume)
+    )
+    if resume["progress"] < 1 or resume["resumed"] < 1 or resume["failed"]:
+        bad = True
+
+    hedge = run_hedge()
+    print(
+        "hedge: ok={ok} hedges={hedges} stragglers={stragglers} "
+        "transfer={transfer_seconds}s".format(**hedge)
+    )
+    if not hedge["ok"] or hedge["hedges"] < 1 or hedge["stragglers"] < 1:
+        bad = True
+
     if bad:
-        print("chaos smoke FAILED: expected >=1 replan and 0 failures")
+        print(
+            "chaos smoke FAILED: expected replans + 0 failures, resumed "
+            "starts after a journaled crash, and an adopted hedge"
+        )
         return 1
     print("chaos smoke ok")
     return 0

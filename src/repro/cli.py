@@ -9,7 +9,10 @@ workflow:
   bandwidth snapshot and print the tree;
 * ``repro repair``          — simulate a single-chunk repair on a trace
   with every scheme and compare timings;
-* ``repro fullnode``        — simulate a full-node repair on a trace;
+* ``repro fullnode``        — simulate a full-node repair on a trace
+  (``--journal PATH`` makes the PivotRepair run checkpoint/resumable);
+* ``repro resume``          — finish an interrupted journaled full-node
+  repair: replay the journal, skip completed stripes, repair the rest;
 * ``repro load``            — full-node repair under foreground client
   load (trace-shaped arrivals, degraded reads, repair QoS governor);
 * ``repro experiment``      — regenerate a paper table or figure
@@ -69,6 +72,7 @@ from repro.repair import (
     repair_single_chunk,
     repair_single_chunk_faulted,
 )
+from repro.resilience import RepairJournal
 from repro.reporting import (
     format_mbps,
     format_seconds,
@@ -179,7 +183,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--adaptive", action="store_true",
         help="also run PivotRepair with the adaptive strategy",
     )
+    fullnode.add_argument(
+        "--journal", type=Path, default=None, metavar="PATH",
+        help="append-only repair journal for the PivotRepair run; an "
+        "interrupted run can be finished with 'repro resume PATH'",
+    )
     _add_fault_args(fullnode)
+
+    resume = commands.add_parser(
+        "resume",
+        help="finish an interrupted journaled full-node repair",
+        description="Rebuild the scenario recorded in the journal's "
+        "run_config record (trace, code, placement seed), skip every "
+        "stripe the journal marks done, and repair the remainder — "
+        "resumed stripes restart from their last verified slice.",
+    )
+    resume.add_argument("journal_file", metavar="journal", type=Path)
+    _add_fault_args(resume)
 
     load = commands.add_parser(
         "load", help="full-node repair under foreground client load"
@@ -505,18 +525,32 @@ def _cmd_fullnode(args, tracer=NULL_TRACER) -> dict:
     failed = stripes[0].placement[0]
     config = ExecutionConfig(chunk_size=mib(args.chunk_mib))
     faults, policy = _parse_faults(args)
-    runs = {
-        "rp": repair_full_node(
-            RPPlanner(), network, stripes, failed,
-            concurrency=args.concurrency, config=config, tracer=tracer,
-            faults=faults, retry_policy=policy,
-        ),
-        "pivot": repair_full_node(
-            PivotRepairPlanner(), network, stripes, failed,
-            concurrency=args.concurrency, config=config, tracer=tracer,
-            faults=faults, retry_policy=policy,
-        ),
-    }
+    journal = None
+    if args.journal is not None:
+        journal = RepairJournal(args.journal, tracer=tracer)
+        journal.append(
+            "run_config",
+            trace=str(args.trace_file), n=args.n, k=args.k,
+            stripes=args.stripes, chunk_mib=args.chunk_mib,
+            concurrency=args.concurrency, seed=args.seed,
+            failed_node=failed, scheme="pivot",
+        )
+    try:
+        runs = {
+            "rp": repair_full_node(
+                RPPlanner(), network, stripes, failed,
+                concurrency=args.concurrency, config=config, tracer=tracer,
+                faults=faults, retry_policy=policy,
+            ),
+            "pivot": repair_full_node(
+                PivotRepairPlanner(), network, stripes, failed,
+                concurrency=args.concurrency, config=config, tracer=tracer,
+                faults=faults, retry_policy=policy, journal=journal,
+            ),
+        }
+    finally:
+        if journal is not None:
+            journal.close()
     if args.adaptive:
         runs["pivot+strategy"] = repair_full_node_adaptive(
             PivotRepairPlanner(), network, stripes, failed,
@@ -537,12 +571,83 @@ def _cmd_fullnode(args, tracer=NULL_TRACER) -> dict:
             schemes[name]["replans"] = int(counters.get("replans", 0))
         if args.metrics:
             schemes[name]["telemetry"] = result.telemetry
-    return {
+    payload = {
         "trace": trace.name,
         "failed_node": failed,
         "chunks": runs["rp"].chunks_repaired,
         "schemes": schemes,
     }
+    if args.journal is not None:
+        payload["journal"] = str(args.journal)
+    return payload
+
+
+def _cmd_resume(args, tracer=NULL_TRACER) -> dict:
+    """Finish a journaled full-node repair after an interruption.
+
+    The journal's ``run_config`` record pins everything needed to rebuild
+    the scenario bit-identically (trace file, code, placement seed);
+    ``task_done`` records say which stripes already finished.  The repair
+    then runs over the remainder only, appending to the same journal, so
+    resuming a resume also works.
+    """
+    journal = RepairJournal.load(args.journal_file, tracer=tracer)
+    run = journal.run_config()
+    if run is None:
+        raise ReproError(
+            f"{args.journal_file}: no run_config record — only journals "
+            "written by 'repro fullnode --journal' can be resumed"
+        )
+    trace = WorkloadTrace.load(Path(run["trace"]))
+    network = trace.to_network(floor=1e6)
+    code = RSCode(int(run["n"]), int(run["k"]))
+    rng = np.random.default_rng(int(run["seed"]))
+    stripes = place_stripes(int(run["stripes"]), code, trace.node_count, rng)
+    failed = int(run["failed_node"])
+    done = journal.done_stripes()
+    remaining = [
+        stripe
+        for stripe in stripes
+        if stripe.chunk_on_node(failed) is not None
+        and stripe.stripe_id not in done
+    ]
+    payload = {
+        "journal": str(args.journal_file),
+        "trace": trace.name,
+        "failed_node": failed,
+        "stripes_total": sum(
+            1 for s in stripes if s.chunk_on_node(failed) is not None
+        ),
+        "stripes_done": len(done),
+        "stripes_remaining": len(remaining),
+    }
+    if not remaining:
+        payload["status"] = "nothing to resume"
+        journal.close()
+        return payload
+    config = ExecutionConfig(chunk_size=mib(float(run["chunk_mib"])))
+    faults, policy = _parse_faults(args)
+    try:
+        result = repair_full_node(
+            PivotRepairPlanner(), network, remaining, failed,
+            concurrency=int(run["concurrency"]), config=config,
+            tracer=tracer, faults=faults, retry_policy=policy,
+            journal=journal,
+        )
+    finally:
+        journal.close()
+    payload.update(
+        {
+            "status": "resumed",
+            "chunks_repaired": result.chunks_repaired,
+            "chunks_failed": result.chunks_failed,
+            "total_seconds": round(result.total_seconds, 2),
+            "bytes_transferred": result.bytes_transferred,
+        }
+    )
+    if args.metrics:
+        payload["telemetry"] = result.telemetry
+    return payload
 
 
 def _cmd_load(args, tracer=NULL_TRACER) -> dict:
@@ -1049,6 +1154,8 @@ def main(argv: list[str] | None = None) -> int:
             payload = _cmd_explain(args, tracer)
         elif args.command == "report":
             payload = _cmd_report(args, tracer)
+        elif args.command == "resume":
+            payload = _cmd_resume(args, tracer)
         else:
             payload = _cmd_fullnode(args, tracer)
     except (ReproError, FileNotFoundError) as error:

@@ -191,6 +191,51 @@ class Cluster:
             return self._aggregate_tree(plan, stripe, by_node)
         return self._aggregate_staged(plan, stripe, by_node)
 
+    def rebuild_slice_range(
+        self,
+        stripe: Stripe,
+        lost_index: int,
+        plan: RepairPlan,
+        start_slice: int,
+        end_slice: int,
+        slice_size: int,
+    ) -> np.ndarray:
+        """Rebuild only slices ``[start_slice, end_slice)`` of a lost chunk.
+
+        The stitching half of checkpoint/resume: a repair that crashed and
+        resumed from a slice watermark delivered each slice range through a
+        *different* tree, so the byte-accurate verification must rebuild
+        each range through the plan that actually carried it and
+        concatenate.  Aggregation is identical to
+        :meth:`rebuild_from_plan` restricted to the byte range — linearity
+        of the GF(2^8) code makes the restriction exact.  The final range
+        may extend past the chunk end (pipeline fill); it is clamped.
+        """
+        if not plan.is_pipelined:
+            raise ClusterError(
+                "slice-range rebuild requires a pipelined plan"
+            )
+        if start_slice < 0 or end_slice <= start_slice:
+            raise ClusterError(
+                f"invalid slice range [{start_slice}, {end_slice})"
+            )
+        if slice_size <= 0:
+            raise ClusterError("slice_size must be positive")
+        helper_indices = [
+            stripe.chunk_on_node(node) for node in sorted(plan.helpers)
+        ]
+        coefficients = self.code.repair_coefficients(
+            lost_index, helper_indices
+        )
+        by_node = {
+            node: coefficients[stripe.chunk_on_node(node)]
+            for node in plan.helpers
+        }
+        byte_range = (start_slice * slice_size, end_slice * slice_size)
+        return self._aggregate_tree(
+            plan, stripe, by_node, byte_range=byte_range
+        )
+
     def adopt_repair(
         self,
         stripe: Stripe,
@@ -435,7 +480,11 @@ class Cluster:
         return self._aggregate_staged(plan, stripe, by_node)
 
     def _aggregate_tree(
-        self, plan: RepairPlan, stripe: Stripe, coefficients: dict[int, int]
+        self,
+        plan: RepairPlan,
+        stripe: Stripe,
+        coefficients: dict[int, int],
+        byte_range: tuple[int, int] | None = None,
     ) -> np.ndarray:
         """Bottom-up aggregation along the repair tree (Property 2)."""
         tree = plan.tree
@@ -464,6 +513,7 @@ class Cluster:
                 coefficients[node],
                 child_results,
                 field=self.code.field,
+                byte_range=byte_range,
             )
 
         partials = [aggregate(child) for child in tree.children(tree.root)]

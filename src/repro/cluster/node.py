@@ -80,10 +80,26 @@ class DataNode:
         coefficient: int,
         child_results: list[np.ndarray],
         field: GaloisField = GF256,
+        byte_range: tuple[int, int] | None = None,
     ) -> np.ndarray:
-        """coefficient * own_chunk XOR (partial results from children)."""
+        """coefficient * own_chunk XOR (partial results from children).
+
+        ``byte_range`` restricts the computation to ``[lo, hi)`` of the
+        chunk — the slice-range path of a resumed repair.  Linearity makes
+        the restriction exact; a ``hi`` past the chunk end is clamped.
+        """
         self._require_alive()
-        own = field.mul_slice(coefficient, self.read(chunk_id))
+        payload = self.read(chunk_id)
+        if byte_range is not None:
+            lo, hi = byte_range
+            if lo < 0 or hi <= lo:
+                raise ClusterError(f"invalid byte range [{lo}, {hi})")
+            payload = payload[lo:hi]
+            if payload.size == 0:
+                raise ClusterError(
+                    f"byte range [{lo}, {hi}) is outside the chunk"
+                )
+        own = field.mul_slice(coefficient, payload)
         for child in child_results:
             child = np.asarray(child, dtype=field.dtype)
             if child.shape != own.shape:

@@ -96,18 +96,29 @@ def run_chaos_single_chunk(
     planner: RepairPlanner | None = None,
     config: ExecutionConfig | None = None,
     tracer=NULL_TRACER,
+    journal=None,
+    health=None,
 ) -> ChaosOutcome:
     """Repair one lost chunk under a fault plan; verify the bytes.
 
     The holder of ``lost_index`` is crashed (if it still lives), the
     fault-aware executor runs the repair on the simulator, and — when it
-    completes — the *final* plan's tree is executed byte-accurately
-    through the cluster and compared against an independent decode.  The
-    contract the chaos tests pin down: the outcome is either a completed
-    repair with ``correct=True`` or a clean :class:`RepairFailed`; never
-    a hang, never silently short data.
+    completes — the plan's tree is executed byte-accurately through the
+    cluster and compared against an independent decode.  The contract the
+    chaos tests pin down: the outcome is either a completed repair with
+    ``correct=True`` or a clean :class:`RepairFailed`; never a hang,
+    never silently short data.
+
+    ``journal`` / ``health`` thread through to the resilient executor
+    path.  A resumed (or hedged) repair delivers its slice ranges through
+    *different* trees; the verification then rebuilds each recorded
+    segment through the plan that actually carried it
+    (:meth:`~repro.cluster.master.Cluster.rebuild_slice_range`) and
+    stitches the ranges before comparing — exactly what a production
+    requestor would hold on disk.
     """
     planner = planner or PivotRepairPlanner()
+    config = config or ExecutionConfig()
     failed_node = stripe.placement[lost_index]
     expected = _expected_payload(cluster, stripe, lost_index)
     if cluster.nodes[failed_node].alive:
@@ -125,10 +136,16 @@ def run_chaos_single_chunk(
     result = repair_single_chunk_faulted(
         planner, network, requestor, candidates, cluster.code.k,
         faults, policy=policy, config=config, tracer=tracer,
+        journal=journal, health=health,
     )
     if not result.ok:
         return ChaosOutcome(result)
-    payload = cluster.rebuild_from_plan(stripe, lost_index, result.plan)
+    if result.segments:
+        payload = _stitch_segments(
+            cluster, stripe, lost_index, result.segments, config
+        )
+    else:
+        payload = cluster.rebuild_from_plan(stripe, lost_index, result.plan)
     correct = bool(np.array_equal(payload, expected))
     cluster.adopt_repair(
         stripe, lost_index, requestor, payload,
@@ -136,3 +153,34 @@ def run_chaos_single_chunk(
         helpers=result.plan.helpers,
     )
     return ChaosOutcome(result, payload=payload, correct=correct)
+
+
+def _stitch_segments(
+    cluster: Cluster,
+    stripe: Stripe,
+    lost_index: int,
+    segments: list,
+    config: ExecutionConfig,
+) -> np.ndarray:
+    """Concatenate per-segment rebuilds of a resumed/hedged repair.
+
+    Each ``(plan, start_slice)`` segment covers the slice range up to the
+    next segment's start (the last runs to the end of the chunk); a
+    segment's range is rebuilt through its own tree, so the stitched
+    payload reproduces byte-for-byte what each tree actually delivered.
+    """
+    total_slices = config.slices
+    parts: list[np.ndarray] = []
+    for i, (plan, start_slice) in enumerate(segments):
+        end_slice = (
+            segments[i + 1][1] if i + 1 < len(segments) else total_slices
+        )
+        if end_slice <= start_slice:
+            continue
+        parts.append(
+            cluster.rebuild_slice_range(
+                stripe, lost_index, plan, start_slice, end_slice,
+                config.slice_size,
+            )
+        )
+    return np.concatenate(parts)

@@ -55,6 +55,11 @@ class SimulatorStats:
     #: ``{"repair": ..., "foreground": ...}``.  Partially-finished and
     #: cancelled tasks count what they actually moved.
     bytes_by_kind: dict[str, float] = field(default_factory=dict)
+    #: Total bytes carried over all links (summed over edges), including
+    #: what cancelled tasks moved before cancellation — e.g. the losing
+    #: side of a hedged re-plan.  Always equals
+    #: ``sum(bytes_by_kind.values())``.
+    bytes_transferred: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -64,6 +69,7 @@ class SimulatorStats:
             "tasks_completed": self.tasks_completed,
             "tasks_cancelled": self.tasks_cancelled,
             "bytes_by_kind": dict(sorted(self.bytes_by_kind.items())),
+            "bytes_transferred": self.bytes_transferred,
         }
 
 
@@ -78,6 +84,10 @@ class TaskHandle:
     cancelled: bool = False
     #: Traffic class ("repair", "foreground", ...).
     kind: str = "repair"
+    #: Fraction of the task's submitted bytes carried so far, frozen at
+    #: cancellation time for cancelled tasks (1.0 once finished).  Live
+    #: tasks are read through :meth:`FluidSimulator.task_progress`.
+    progress: float = 0.0
 
     @property
     def done(self) -> bool:
@@ -97,6 +107,8 @@ class _Entity:
     task_id: int
     edges: list[tuple[int, int]]
     remaining: float
+    #: Bytes the entity was submitted with (``remaining`` at creation).
+    total: float = 0.0
     usage: dict = field(default_factory=dict)
     rate: float = 0.0
     #: Optional ceiling on the entity's rate (rate-throttled traffic).
@@ -135,6 +147,10 @@ class FluidSimulator:
         self._handles: dict[int, TaskHandle] = {}
         self._task_ids = itertools.count()
         self._task_entities: dict[int, set[int]] = {}
+        #: Per-task bytes submitted / carried (summed over edges), kept
+        #: across completion and cancellation for progress watermarks.
+        self._task_totals: dict[int, float] = {}
+        self._task_bytes: dict[int, float] = {}
         self._task_tracks: dict[int, str] = {}
         self._task_spans: dict[int, int] = {}
         self._task_rates: dict[int, float] = {}
@@ -290,9 +306,13 @@ class FluidSimulator:
         self, handle: TaskHandle, entities: list[_Entity]
     ) -> None:
         for entity in entities:
+            entity.total = entity.remaining
             entity_id = next(self._entity_ids)
             self._entities[entity_id] = entity
             self._task_entities[handle.task_id].add(entity_id)
+        self._task_totals[handle.task_id] = sum(
+            e.total for e in entities
+        )
         self._rates_valid = False
 
     # ------------------------------------------------------------------
@@ -307,6 +327,28 @@ class FluidSimulator:
         self._ensure_rates()
         ids = self._task_entities.get(handle.task_id, set())
         return sum(self._entities[i].rate for i in ids)
+
+    def task_progress(self, handle: TaskHandle) -> float:
+        """Fraction of the task's submitted bytes carried so far.
+
+        Finished tasks report ``1.0``; cancelled tasks report the fraction
+        frozen at cancellation time.  This is the simulator-side hook the
+        resilience layer uses to derive slice-level watermarks.
+        """
+        if handle.done or handle.cancelled:
+            return handle.progress
+        total = self._task_totals.get(handle.task_id, 0.0)
+        if total <= 0:
+            return 0.0
+        remaining = sum(
+            self._entities[i].remaining
+            for i in self._task_entities.get(handle.task_id, set())
+        )
+        return max(0.0, min(1.0, 1.0 - remaining / total))
+
+    def task_bytes_carried(self, handle: TaskHandle) -> float:
+        """Bytes the task has moved so far, summed over its edges."""
+        return self._task_bytes.get(handle.task_id, 0.0)
 
     def current_usage(self) -> tuple[dict[int, float], dict[int, float]]:
         """Bandwidth currently consumed by live tasks, per node.
@@ -373,6 +415,7 @@ class FluidSimulator:
             raise SimulationError(
                 f"task {handle.label!r} is already cancelled"
             )
+        handle.progress = self.task_progress(handle)
         entity_ids = self._task_entities.get(handle.task_id, set())
         remaining = 0.0
         for entity_id in sorted(entity_ids):
@@ -484,9 +527,13 @@ class FluidSimulator:
                     self.bytes_down[dst] = (
                         self.bytes_down.get(dst, 0.0) + transferred
                     )
+                moved = transferred * len(entity.edges)
                 self.stats.bytes_by_kind[entity.kind] = (
-                    self.stats.bytes_by_kind.get(entity.kind, 0.0)
-                    + transferred * len(entity.edges)
+                    self.stats.bytes_by_kind.get(entity.kind, 0.0) + moved
+                )
+                self.stats.bytes_transferred += moved
+                self._task_bytes[entity.task_id] = (
+                    self._task_bytes.get(entity.task_id, 0.0) + moved
                 )
         self.now = next_event
         self.stats.steps += 1
@@ -510,6 +557,7 @@ class FluidSimulator:
             if not members:
                 handle = self._handles[entity.task_id]
                 handle.finish_time = self.now
+                handle.progress = 1.0
                 completed.append(handle)
                 self.stats.tasks_completed += 1
                 if self.tracer.enabled:

@@ -30,7 +30,14 @@ planner's claimed value)::
     credit     = sum of (ref - r) dt / ref  where r > ref (negative:
                  capacities rose after planning)
 
-The identity holds because ``integral of r dt = B``.  Invariant checks
+The identity holds because ``integral of r dt = B``.  Hedged repairs
+(:mod:`repro.resilience`) add a ``hedge`` component: a hedge flow's whole
+duration is hedge time, and a straggler-cancelled primary charges its
+post-verdict deficit to ``stall`` (detector window) and ``hedge`` (racing
+window) instead of ``contention``, with ``ideal`` measured against the
+bytes it actually carried so the identity survives cancellation.
+
+Invariant checks
 flag anomalies instead of silently mis-attributing: an achieved rate
 above the claimed ``B_min`` (a pipelined tree cannot beat its planned
 bottleneck unless capacities moved), byte-conservation violations in the
@@ -260,7 +267,8 @@ class RunDiagnosis:
         if self.totals:
             parts = "  ".join(
                 f"{key} {format_seconds(self.totals[key])}"
-                for key in ("ideal", "contention", "governor", "stall")
+                for key in ("ideal", "contention", "governor", "stall",
+                            "hedge")
                 if key in self.totals
             )
             credit = self.totals.get("credit", 0.0)
@@ -304,7 +312,7 @@ class RunDiagnosis:
             lines.append(
                 format_table(
                     ["repair", "duration", "rate", "vs B_min", "neck",
-                     "waterfall ideal/contention/governor/stall"],
+                     "waterfall ideal/contention/governor/stall/hedge"],
                     rows,
                 )
             )
@@ -321,7 +329,7 @@ class RunDiagnosis:
 def _waterfall(diag: RepairDiagnosis, width: int = 20) -> str:
     """Tiny inline stacked bar of a diagnosis' time components."""
     glyphs = (("ideal", "#"), ("contention", "~"), ("governor", "g"),
-              ("stall", "."))
+              ("stall", "."), ("hedge", "h"))
     duration = diag.duration
     if duration <= 0:
         return ""
@@ -389,6 +397,29 @@ def _digest_flows(events) -> list[_Flow]:
                 flow.finish = event.t
                 flow.cancelled = event.name == "flow.cancel"
     return flows
+
+
+def _straggler_windows(events) -> dict[object, dict]:
+    """task id -> straggler verdict/hedge-launch times from the trace.
+
+    ``since`` is when the detector's first bad progress window opened;
+    ``launch`` (optional — launching can fail for lack of alternates) is
+    when the hedge started racing the flagged primary.
+    """
+    windows: dict[object, dict] = {}
+    for event in events:
+        task = event.fields.get("task")
+        if task is None:
+            continue
+        if event.name == "health.straggler":
+            windows.setdefault(task, {})["since"] = float(
+                event.fields.get("since", event.t)
+            )
+        elif event.name == "hedge.launch":
+            windows.setdefault(task, {})["launch"] = event.t
+    return {
+        task: info for task, info in windows.items() if "since" in info
+    }
 
 
 def _claimed_bmins(events) -> list[tuple[float, int, float, str]]:
@@ -462,6 +493,16 @@ def _rate_profile(flow: _Flow) -> list[tuple[float, float, float]]:
     if finish > cursor:
         intervals.append((cursor, finish, current))
     return intervals
+
+
+def _split_at(start: float, end: float, cuts) -> list[tuple[float, float]]:
+    """Split [start, end) at every cut point falling strictly inside."""
+    points = [start]
+    for cut in sorted(cuts):
+        if start < cut < end:
+            points.append(cut)
+    points.append(end)
+    return list(zip(points, points[1:]))
 
 
 def _oracle_bmin(flow: _Flow, network) -> float | None:
@@ -586,6 +627,7 @@ def _diagnose_flow(
     samples,
     sample_interval: float,
     network,
+    straggler: dict | None = None,
 ) -> RepairDiagnosis:
     edges = flow.edges
     bytes_per_edge = flow.bytes_total / max(len(edges), 1)
@@ -597,25 +639,57 @@ def _diagnose_flow(
     elif claimed and claimed > 0:
         reference, ref_rate = "claimed", claimed
     components: dict[str, float] = {}
-    if ref_rate is not None and duration > 0 and not flow.cancelled:
-        ideal = bytes_per_edge / ref_rate
-        contention = governor = stall = credit = 0.0
+    if flow.kind == "hedge" and duration > 0:
+        # A hedge flow exists only because a gray failure was suspected:
+        # every second it ran (winner or cancelled loser) is spent on the
+        # hedge, regardless of the rate it achieved.
+        components = {"hedge": duration}
+    elif ref_rate is not None and duration > 0 and (
+        not flow.cancelled or straggler is not None
+    ):
+        # ``since``/``launch`` only exist for a straggler-cancelled
+        # primary: its deficit after the detector flagged it is a stall,
+        # and after the hedge launched it is hedge overlap, not ordinary
+        # contention.  Ideal is what the flow *actually carried* over the
+        # reference rate, so the identity D = sum(components) still holds
+        # for a flow that never delivered its full byte count.
+        since = float(straggler["since"]) if straggler else math.inf
+        launch = (
+            float(straggler.get("launch", math.inf))
+            if straggler
+            else math.inf
+        )
+        carried = 0.0
+        contention = governor = stall = credit = hedge = 0.0
         for start, end, rate in _rate_profile(flow):
-            dt = end - start
-            if dt <= 0:
-                continue
-            if rate <= _STALL_EPS:
-                stall += dt
-                continue
-            excess = (ref_rate - rate) * dt / ref_rate
-            if rate > ref_rate:
-                credit += excess  # negative
-                continue
-            cap = _cap_at(cap_timeline, start)
-            if cap is not None and rate >= cap * (1 - _CAP_TOL):
-                governor += excess
-            else:
-                contention += excess
+            for s, e in _split_at(start, end, (since, launch)):
+                dt = e - s
+                if dt <= 0:
+                    continue
+                if rate <= _STALL_EPS:
+                    stall += dt
+                    continue
+                carried += rate * dt
+                excess = (ref_rate - rate) * dt / ref_rate
+                if rate > ref_rate:
+                    credit += excess  # negative
+                    continue
+                if s >= launch:
+                    hedge += excess
+                elif s >= since:
+                    stall += excess
+                    continue
+                else:
+                    cap = _cap_at(cap_timeline, s)
+                    if cap is not None and rate >= cap * (1 - _CAP_TOL):
+                        governor += excess
+                    else:
+                        contention += excess
+        ideal = (
+            carried / ref_rate
+            if straggler is not None
+            else bytes_per_edge / ref_rate
+        )
         components = {
             "ideal": ideal,
             "contention": contention,
@@ -623,6 +697,8 @@ def _diagnose_flow(
             "stall": stall,
             "credit": credit,
         }
+        if straggler is not None:
+            components["hedge"] = hedge
     bottleneck = _sampled_bottleneck(flow, samples, sample_interval)
     if bottleneck is None:
         bottleneck = _static_bottleneck(flow, network)
@@ -730,14 +806,20 @@ def diagnose(
     repairs: list[RepairDiagnosis] = []
     anomalies: list[str] = []
     consumed = [False] * len(claimed_pool)
+    stragglers = _straggler_windows(events)
     for flow in flows:
-        if flow.kind != "repair":
+        if flow.kind not in ("repair", "hedge"):
             continue
         if flow.finish is None:
             anomalies.append(
                 f"flow {flow.label!r} never finished (unmatched span)"
             )
             continue
+        straggler = (
+            stragglers.get(flow.key)
+            if flow.kind == "repair" and flow.cancelled
+            else None
+        )
         sink = _sink_of(flow)
         claimed = None
         # Latest unconsumed plan for this sink wins; a scheme whose name
@@ -763,7 +845,7 @@ def diagnose(
         repairs.append(
             _diagnose_flow(
                 flow, claimed, oracle, cap_timeline, samples,
-                sample_interval, network,
+                sample_interval, network, straggler=straggler,
             )
         )
     totals: dict[str, float] = {}
@@ -813,7 +895,8 @@ def diagnose(
         prefix = event.name.split(".", 1)[0]
         if prefix == "fault" or event.name in (
             "repair.detect", "repair.retry", "repair.replan",
-            "repair.failed",
+            "repair.failed", "health.straggler", "hedge.launch",
+            "hedge.adopt", "hedge.cancel",
         ):
             fault_counts[event.name] = fault_counts.get(event.name, 0) + 1
     return RunDiagnosis(

@@ -36,8 +36,10 @@ from repro.repair.pipeline import (
     ExecutionConfig,
     pipeline_bytes_per_edge,
     pipeline_overhead_seconds,
+    remaining_bytes_per_edge,
 )
 from repro.repair.telemetry import registry_from_run
+from repro.resilience.health import HealthMonitor, HealthPolicy
 
 logger = logging.getLogger(__name__)
 
@@ -203,6 +205,18 @@ class _Failure:
     time: float
 
 
+@dataclass
+class _Hedge:
+    """A speculative alternate flow racing a straggling primary."""
+
+    handle: TaskHandle
+    plan: RepairPlan
+    #: First slice the hedge fetches (the primary's verified watermark at
+    #: launch time); the primary covers slices below it.
+    start_slice: int
+    tree_nodes: frozenset[int]
+
+
 def _drive_attempt(
     sim: FluidSimulator,
     handle: TaskHandle,
@@ -256,6 +270,200 @@ def _drive_attempt(
     return None
 
 
+def _drive_attempt_hedged(
+    sim: FluidSimulator,
+    handle: TaskHandle,
+    plan: RepairPlan,
+    tree_nodes: set[int],
+    faults: FaultPlan,
+    policy: RetryPolicy,
+    monitor: HealthMonitor | None,
+    planner: RepairPlanner,
+    net,
+    requestor: int,
+    usable: Sequence[int],
+    k: int,
+    config: ExecutionConfig,
+    watermark: int,
+    attempt: int,
+    tracer,
+    registry: MetricsRegistry,
+    journal,
+) -> tuple[_Failure | None, _Hedge | None, int]:
+    """Like :func:`_drive_attempt`, plus gray-failure hedging.
+
+    While the primary flow runs, ``monitor`` checks its relative progress
+    on the simulated-time grid.  On a straggler verdict a *hedge* — an
+    alternate tree over the non-culprit survivors, fetching only the
+    remaining slice range — is submitted under the ``hedge`` traffic class
+    and raced against the primary; whichever finishes first wins, the
+    loser is cancelled (its bytes stay accounted in the ``hedge`` bucket).
+    Returns ``(failure, adopted_hedge, hedges_launched)``.
+    """
+    stalled_since: float | None = None
+    hedge: _Hedge | None = None
+    launched = 0
+
+    def drop_hedge(reason: str) -> None:
+        nonlocal hedge
+        if hedge is None or hedge.handle.done:
+            hedge = None
+            return
+        remaining = sim.cancel_task(hedge.handle)
+        registry.counter("hedges_cancelled").inc()
+        if tracer.enabled:
+            tracer.instant(
+                "hedge.cancel", t=sim.now, track="executor",
+                task=handle.task_id, hedge_task=hedge.handle.task_id,
+                reason=reason, bytes_remaining=remaining,
+            )
+        if journal is not None:
+            journal.append(
+                "hedge_cancel", t=sim.now, task=handle.task_id,
+                hedge_task=hedge.handle.task_id, reason=reason,
+            )
+        hedge = None
+
+    def launch_hedge(verdict) -> _Hedge | None:
+        culprits = set(verdict.nodes)
+        alternates = [n for n in usable if n not in culprits]
+        if requestor in culprits or len(alternates) < k:
+            return None
+        snapshot = BandwidthSnapshot.from_network(net, sim.now)
+        try:
+            hedge_plan = planner.plan(snapshot, requestor, alternates, k)
+        except PlanningError:
+            return None
+        progress = sim.task_progress(handle)
+        attempt_slices = config.slices - watermark
+        verified = max(
+            0, int(progress * attempt_slices) - (plan.tree.depth() - 1)
+        )
+        start_slice = min(watermark + verified, config.slices - 1)
+        hedge_tree = hedge_plan.tree
+        hedge_handle = sim.submit_pipelined(
+            hedge_tree.edges(),
+            remaining_bytes_per_edge(config, hedge_tree.depth(), start_slice),
+            label=f"{hedge_plan.scheme}-h{attempt}",
+            kind="hedge",
+        )
+        registry.counter("hedges_launched").inc()
+        if tracer.enabled:
+            tracer.instant(
+                "hedge.launch", t=sim.now, track="executor",
+                task=handle.task_id, hedge_task=hedge_handle.task_id,
+                start_slice=start_slice, helpers=sorted(hedge_plan.helpers),
+                excluded=sorted(culprits),
+            )
+        if journal is not None:
+            journal.append(
+                "hedge_launch", t=sim.now, task=handle.task_id,
+                hedge_task=hedge_handle.task_id, start_slice=start_slice,
+            )
+        return _Hedge(
+            handle=hedge_handle,
+            plan=hedge_plan,
+            start_slice=start_slice,
+            tree_nodes=frozenset({hedge_tree.root, *hedge_tree.helpers}),
+        )
+
+    while True:
+        if handle.done:
+            drop_hedge("primary_won")
+            return None, None, launched
+        if hedge is not None and hedge.handle.done:
+            adopted = hedge
+            sim.cancel_task(handle)
+            registry.counter("flows_cancelled").inc()
+            registry.counter("hedges_adopted").inc()
+            if tracer.enabled:
+                tracer.instant(
+                    "hedge.adopt", t=sim.now, track="executor",
+                    task=handle.task_id, hedge_task=adopted.handle.task_id,
+                    start_slice=adopted.start_slice,
+                )
+            if journal is not None:
+                journal.append(
+                    "hedge_adopt", t=sim.now, task=handle.task_id,
+                    hedge_task=adopted.handle.task_id,
+                    start_slice=adopted.start_slice,
+                )
+            return None, adopted, launched
+        now = sim.now
+        dead = sorted(n for n in tree_nodes if faults.is_dead(n, now))
+        bad = sorted(
+            n for n in tree_nodes
+            if faults.chunk_unreadable(n, now) and n not in dead
+        )
+        if hedge is not None and not (dead or bad):
+            # A fault touching only the hedge tree drops the hedge and
+            # lets the primary keep racing alone.
+            hedge_hit = any(
+                faults.is_dead(n, now) or faults.chunk_unreadable(n, now)
+                for n in hedge.tree_nodes
+            )
+            if hedge_hit:
+                drop_hedge("fault")
+        if dead or bad:
+            drop_hedge("primary_fault")
+            kind = "crash" if dead else "readerr"
+            return _Failure(kind=kind, nodes=dead + bad, time=now), None, \
+                launched
+        watched = (
+            tree_nodes | hedge.tree_nodes if hedge is not None else tree_nodes
+        )
+        bound = min(
+            faults.next_failure_affecting(watched, now),
+            faults.next_change_after(now),
+        )
+        rate = sim.current_rate(handle)
+        if hedge is not None:
+            rate += sim.current_rate(hedge.handle)
+        if rate <= 1e-12:
+            if stalled_since is None:
+                stalled_since = now
+            deadline = stalled_since + policy.detection_timeout
+            if now >= deadline:
+                culprits = sorted(
+                    n for n in tree_nodes
+                    if faults.capacity_factor(n, "up", now) == 0.0
+                    or faults.capacity_factor(n, "down", now) == 0.0
+                )
+                drop_hedge("stall")
+                return _Failure(kind="stall", nodes=culprits, time=now), \
+                    None, launched
+            bound = min(bound, deadline)
+        else:
+            stalled_since = None
+        if monitor is not None and hedge is None:
+            bound = min(bound, monitor.next_check)
+        try:
+            sim.run_until_completion(max_time=bound)
+        except SimulationError:
+            drop_hedge("stuck")
+            return _Failure(kind="stuck", nodes=[], time=sim.now), None, \
+                launched
+        if monitor is not None and hedge is None:
+            verdict = monitor.observe(net)
+            if verdict is not None:
+                registry.counter("stragglers").inc()
+                if tracer.enabled:
+                    tracer.instant(
+                        "health.straggler", t=sim.now, track="health",
+                        task=handle.task_id, nodes=sorted(verdict.nodes),
+                        since=verdict.since, observed=verdict.observed,
+                        promised=verdict.promised,
+                    )
+                if journal is not None:
+                    journal.append(
+                        "straggler", t=sim.now, task=handle.task_id,
+                        nodes=sorted(verdict.nodes), since=verdict.since,
+                    )
+                hedge = launch_hedge(verdict)
+                if hedge is not None:
+                    launched += 1
+
+
 def repair_single_chunk_faulted(
     planner: RepairPlanner,
     network,
@@ -268,6 +476,8 @@ def repair_single_chunk_faulted(
     config: ExecutionConfig | None = None,
     tracer=NULL_TRACER,
     sampler=None,
+    journal=None,
+    health: HealthPolicy | None = None,
 ) -> RepairResult | RepairFailed:
     """Single-chunk repair under an injected fault plan.
 
@@ -282,6 +492,21 @@ def repair_single_chunk_faulted(
     ``bytes_transferred`` is taken from the simulator's fluid accounting,
     so bytes a cancelled attempt already moved are counted exactly once —
     a restarted flow does not double-count its chunk.
+
+    Resilience (both default off, leaving the legacy path byte-identical):
+
+    * ``journal`` — a :class:`~repro.resilience.RepairJournal`.  Slice
+      progress is checkpointed per attempt and a re-plan **resumes from
+      the last verified slice**: the new tree only fetches the remaining
+      slice range, and ``result.segments`` records which plan carried
+      which range so the cluster layer can decode-verify the stitched
+      chunk (:meth:`~repro.cluster.Cluster.rebuild_slice_range`).
+      Passing ``health`` alone also enables resume (with an in-memory
+      journal's semantics but no durability).
+    * ``health`` — a :class:`~repro.resilience.HealthPolicy`.  Enables the
+      gray-failure detector and hedged re-planning (see
+      :func:`_drive_attempt_hedged`); ``result.hedges`` counts adopted or
+      cancelled hedges.
     """
     policy = policy or RetryPolicy()
     config = config or ExecutionConfig()
@@ -295,6 +520,15 @@ def repair_single_chunk_faulted(
     attempts = 0
     planning_total = 0.0
     plan: RepairPlan | None = None
+    resilient = journal is not None or health is not None
+    watermark = 0
+    segments: list[tuple[RepairPlan, int]] = []
+    hedges = 0
+    if journal is not None:
+        journal.append(
+            "task_start", t=start_time, requestor=requestor,
+            candidates=sorted(candidates), k=k, scheme=planner.name,
+        )
 
     def failed(reason: str) -> RepairFailed:
         registry.counter("repairs_failed").inc()
@@ -358,18 +592,55 @@ def repair_single_chunk_faulted(
             tree = plan.tree
             handle = sim.submit_pipelined(
                 tree.edges(),
-                pipeline_bytes_per_edge(config, tree.depth()),
+                remaining_bytes_per_edge(config, tree.depth(), watermark),
                 label=f"{plan.scheme}-a{attempts}",
             )
             tree_nodes = {tree.root, *tree.helpers}
-            failure = _drive_attempt(sim, handle, tree_nodes, faults, policy)
+            if journal is not None:
+                journal.append(
+                    "attempt", t=now, attempt=attempts, scheme=plan.scheme,
+                    helpers=sorted(plan.helpers), watermark=watermark,
+                    bmin=plan.bmin,
+                )
+            adopted = None
+            if health is not None:
+                monitor = (
+                    HealthMonitor(
+                        health, sim, handle, plan, snapshot, tree_nodes
+                    )
+                    if hedges < health.max_hedges
+                    else None
+                )
+                failure, adopted, launched = _drive_attempt_hedged(
+                    sim, handle, plan, tree_nodes, faults, policy, monitor,
+                    planner, net, requestor, usable, k, config, watermark,
+                    attempts, tracer, registry, journal,
+                )
+                hedges += launched
+            else:
+                failure = _drive_attempt(
+                    sim, handle, tree_nodes, faults, policy
+                )
             injector.announce_until(sim.now)
             if failure is None:
+                if adopted is not None:
+                    if adopted.start_slice > watermark:
+                        segments.append((plan, watermark))
+                    segments.append((adopted.plan, adopted.start_slice))
+                    planning_total += adopted.plan.planning_seconds
+                    plan = adopted.plan
+                elif resilient:
+                    segments.append((plan, watermark))
                 transfer = (
                     sim.now - start_time + pipeline_overhead_seconds(config)
                 )
                 registry.gauge("planner_seconds").set(planning_total)
                 registry.histogram("task_seconds").observe(transfer)
+                if journal is not None:
+                    journal.append(
+                        "task_done", t=sim.now, scheme=plan.scheme,
+                        attempts=attempts, hedges=hedges,
+                    )
                 return RepairResult(
                     scheme=plan.scheme,
                     planning_seconds=planning_total,
@@ -381,6 +652,8 @@ def repair_single_chunk_faulted(
                         sim, tracer, registry
                     ).snapshot(),
                     attempts=attempts,
+                    segments=segments,
+                    hedges=hedges,
                 )
             # Detection latency: the failure is noticed one timeout after
             # it happened (or immediately for a stall, whose detection
@@ -396,6 +669,30 @@ def repair_single_chunk_faulted(
                     kind=failure.kind, nodes=failure.nodes,
                     attempt=attempts,
                 )
+            if resilient:
+                # Advance the slice watermark past what this attempt
+                # verifiably delivered; the next attempt resumes there.
+                # A read error yields garbage bytes for the attempt's whole
+                # range, so it contributes nothing (earlier attempts'
+                # verified segments stay good).
+                if failure.kind != "readerr" and not handle.done:
+                    progress = sim.task_progress(handle)
+                    attempt_slices = config.slices - watermark
+                    verified = max(
+                        0,
+                        int(progress * attempt_slices) - (tree.depth() - 1),
+                    )
+                    if verified > 0:
+                        segments.append((plan, watermark))
+                        watermark = min(
+                            watermark + verified, config.slices - 1
+                        )
+                if journal is not None:
+                    journal.append(
+                        "attempt_failed", t=sim.now, attempt=attempts,
+                        failure=failure.kind, watermark=watermark,
+                        bytes_transferred=sim.total_bytes_transferred,
+                    )
             # A read error leaves link capacity intact, so the doomed flow
             # may have "completed" (delivering garbage) inside the
             # detection window — there is nothing left to cancel then, but

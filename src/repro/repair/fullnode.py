@@ -43,7 +43,7 @@ from repro.network.topology import StarNetwork
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.repair.metrics import FullNodeResult, RepairFailed, RepairResult
-from repro.repair.pipeline import ExecutionConfig, pipeline_bytes_per_edge
+from repro.repair.pipeline import ExecutionConfig, remaining_bytes_per_edge
 from repro.repair.telemetry import registry_from_run
 
 logger = logging.getLogger(__name__)
@@ -81,6 +81,11 @@ class _InFlight:
     running: RunningTask
     stripe: Stripe | None = None
     tree_nodes: frozenset[int] = field(default_factory=frozenset)
+    #: Per-edge bytes the submission actually carries (shrinks when the
+    #: task resumed from a checkpointed slice watermark).
+    bytes_per_edge: float = 0.0
+    #: First slice this flight delivers (> 0 on a resumed re-plan).
+    start_slice: int = 0
 
 
 def residual_snapshot(
@@ -112,17 +117,27 @@ def _plan_stripe(
     stripe: Stripe,
     failed_node: int,
     faults: FaultPlan | None = None,
+    preferred_requestor: int | None = None,
 ) -> RepairPlan:
+    """Plan one stripe against residual bandwidth.
+
+    ``preferred_requestor`` pins the requestor (checkpoint/resume: the
+    verified slices live on that node's disk, so re-planning elsewhere
+    would forfeit them); it is ignored if that node has since died.
+    """
     snapshot = residual_snapshot(network, sim)
     unusable: set[int] = set()
     if faults is not None and faults:
         unusable = faults.dead_nodes(sim.now) | faults.unreadable_nodes(
             sim.now
         )
-    requestor = choose_requestor(
-        snapshot, stripe, failed_node, len(network),
-        exclude=(faults.dead_nodes(sim.now) if faults else frozenset()),
-    )
+    dead = faults.dead_nodes(sim.now) if faults else frozenset()
+    if preferred_requestor is not None and preferred_requestor not in dead:
+        requestor = preferred_requestor
+    else:
+        requestor = choose_requestor(
+            snapshot, stripe, failed_node, len(network), exclude=dead,
+        )
     candidates = [
         node
         for node in stripe.surviving_nodes(failed_node)
@@ -145,13 +160,14 @@ def _submit(
     config: ExecutionConfig,
     stripe: Stripe | None = None,
     max_rate: float | None = None,
+    start_slice: int = 0,
 ) -> _InFlight:
     if not plan.is_pipelined:
         raise ClusterError(
             "full-node orchestration supports pipelined plans only"
         )
     tree = plan.tree
-    bytes_per_edge = pipeline_bytes_per_edge(config, tree.depth())
+    bytes_per_edge = remaining_bytes_per_edge(config, tree.depth(), start_slice)
     handle = sim.submit_pipelined(
         tree.edges(), bytes_per_edge,
         label=f"{plan.scheme}-r{plan.requestor}", max_rate=max_rate,
@@ -163,6 +179,7 @@ def _submit(
     return _InFlight(
         handle=handle, plan=plan, running=running, stripe=stripe,
         tree_nodes=frozenset({tree.root, *tree.helpers}),
+        bytes_per_edge=bytes_per_edge, start_slice=start_slice,
     )
 
 
@@ -173,15 +190,17 @@ def _collect(
     registry: MetricsRegistry | None = None,
     config: ExecutionConfig | None = None,
     on_repaired=None,
+    journal=None,
+    sim: FluidSimulator | None = None,
 ) -> None:
     for handle in finished:
         flight = in_flight.pop(handle.task_id)
         tree = flight.plan.tree
         bytes_moved = 0.0
         if config is not None and tree is not None:
-            bytes_moved = pipeline_bytes_per_edge(
-                config, tree.depth()
-            ) * len(tree.edges())
+            # A resumed flight only carries the slices past its watermark,
+            # so charge what it actually moved, not the full chunk.
+            bytes_moved = flight.bytes_per_edge * len(tree.edges())
         results.append(
             RepairResult(
                 scheme=flight.plan.scheme,
@@ -196,6 +215,14 @@ def _collect(
             registry.histogram("task_seconds").observe(handle.duration)
             registry.histogram("planner_seconds").observe(
                 flight.plan.effective_planning_seconds
+            )
+        if journal is not None and flight.stripe is not None:
+            journal.append(
+                "task_done",
+                t=sim.now if sim is not None else 0.0,
+                stripe=flight.stripe.stripe_id,
+                scheme=flight.plan.scheme,
+                start_slice=flight.start_slice,
             )
         if on_repaired is not None and flight.stripe is not None:
             on_repaired(flight)
@@ -294,6 +321,13 @@ class _FaultDriver:
     records stripes that became unrepairable as clean
     :class:`RepairFailed` entries.  With an empty plan every method is a
     cheap no-op, so the fault-free paths behave exactly as before.
+
+    With ``config`` set the driver also keeps slice-level progress
+    watermarks: before a doomed flight is cancelled, its verified slice
+    count (pipeline depth subtracted — slices still in flight are not
+    trusted) is recorded, journaled when a ``journal`` is attached, and
+    offered back through :meth:`resume_slice` so the re-planned task
+    transfers only the remaining slice range.
     """
 
     def __init__(
@@ -304,6 +338,8 @@ class _FaultDriver:
         scheme: str,
         tracer,
         registry: MetricsRegistry,
+        config: ExecutionConfig | None = None,
+        journal=None,
     ):
         self.faults = faults if faults is not None else FaultPlan.none()
         self.policy = policy or RetryPolicy()
@@ -311,6 +347,8 @@ class _FaultDriver:
         self.scheme = scheme
         self.tracer = tracer
         self.registry = registry
+        self.config = config
+        self.journal = journal
         self.active = bool(self.faults)
         #: Clock-advance hook; orchestrators with foreground traffic swap
         #: in the engine's drive so arrivals land inside detection windows.
@@ -319,6 +357,8 @@ class _FaultDriver:
         self.requeued_ids: set[int] = set()
         self.failures: list[RepairFailed] = []
         self.start_time = sim.now
+        #: stripe_id -> (verified slice watermark, requestor that holds it).
+        self.watermarks: dict[int, tuple[int, int]] = {}
 
     def tick(
         self,
@@ -346,11 +386,13 @@ class _FaultDriver:
         done = self.advance(self.sim.now + self.policy.detection_timeout)
         collect(done)
         self.injector.announce_until(self.sim.now)
+        unreadable = self.faults.unreadable_nodes(self.sim.now)
         for task_id in doomed:
             flight = in_flight.pop(task_id, None)
             if flight is None:  # finished inside the detection window
                 continue
             lost = sorted(flight.tree_nodes & unusable)
+            self._record_watermark(flight, lost, unreadable)
             self.sim.cancel_task(flight.handle)
             self.registry.counter("flows_cancelled").inc()
             self.registry.counter("fault_detections").inc()
@@ -363,6 +405,71 @@ class _FaultDriver:
             if flight.stripe is not None:
                 pending.append(flight.stripe)
                 self.requeued_ids.add(flight.stripe.stripe_id)
+
+    def _record_watermark(
+        self,
+        flight: _InFlight,
+        lost: list[int],
+        unreadable: frozenset[int] | set[int],
+    ) -> None:
+        """Checkpoint the doomed flight's verified slice progress.
+
+        Slices still inside the pipeline (one per tree level) have not
+        reached the requestor, so they are subtracted; a flight doomed
+        purely by corrupted reads (``readerr``) contributes nothing —
+        its delivered bytes cannot be trusted.
+        """
+        if (
+            self.config is None
+            or flight.stripe is None
+            or flight.plan.tree is None
+        ):
+            return
+        if lost and all(node in unreadable for node in lost):
+            return
+        progress = self.sim.task_progress(flight.handle)
+        attempt_slices = self.config.slices - flight.start_slice
+        verified = max(
+            0,
+            int(progress * attempt_slices) - (flight.plan.tree.depth() - 1),
+        )
+        watermark = min(
+            flight.start_slice + verified, self.config.slices - 1
+        )
+        if watermark <= 0:
+            return
+        stripe_id = flight.stripe.stripe_id
+        self.watermarks[stripe_id] = (watermark, flight.plan.requestor)
+        if self.journal is not None:
+            self.journal.append(
+                "progress", t=self.sim.now, stripe=stripe_id,
+                watermark=watermark, requestor=flight.plan.requestor,
+            )
+
+    def preferred_requestor(self, stripe: Stripe) -> int | None:
+        """Requestor holding this stripe's verified slices, if it lives."""
+        recorded = self.watermarks.get(stripe.stripe_id)
+        if recorded is None:
+            return None
+        _, requestor = recorded
+        if requestor in self.faults.dead_nodes(self.sim.now):
+            return None
+        return requestor
+
+    def resume_slice(self, stripe: Stripe, plan: RepairPlan) -> int:
+        """First slice the re-planned task must fetch (0 = from scratch).
+
+        The watermark is only honoured when the re-plan lands on the same
+        requestor — verified slices live on the requestor's disk, and a
+        different requestor holds none of them.
+        """
+        recorded = self.watermarks.get(stripe.stripe_id)
+        if recorded is None:
+            return 0
+        watermark, requestor = recorded
+        if plan.requestor != requestor:
+            return 0
+        return watermark
 
     def note_started(self, stripe: Stripe, plan: RepairPlan) -> None:
         """Count a re-plan when a previously killed stripe restarts."""
@@ -427,6 +534,7 @@ def repair_full_node(
     foreground=None,
     governor=None,
     sampler=None,
+    journal=None,
 ) -> FullNodeResult:
     """Fixed-concurrency full-node repair (the non-adaptive orchestrator).
 
@@ -437,6 +545,11 @@ def repair_full_node(
     to None, which leaves the repair-only path unchanged.  ``sampler``
     (a :class:`~repro.obs.FlightRecorder`) records aligned utilization
     time series for post-run diagnosis (:mod:`repro.obs.analysis`).
+
+    ``journal`` (a :class:`~repro.resilience.RepairJournal`) makes the run
+    resumable: per-stripe start/progress/done records are appended as the
+    run advances, and a re-planned stripe whose requestor survives resumes
+    from its last verified slice instead of restarting the transfer.
     """
     if concurrency < 1:
         raise ClusterError("concurrency must be >= 1")
@@ -455,7 +568,8 @@ def repair_full_node(
     in_flight: dict[int, _InFlight] = {}
     results: list[RepairResult] = []
     driver = _FaultDriver(
-        faults, retry_policy, sim, planner.name, tracer, registry
+        faults, retry_policy, sim, planner.name, tracer, registry,
+        config=config, journal=journal,
     )
     if foreground is not None:
         foreground.bind(sim, network)
@@ -465,7 +579,7 @@ def repair_full_node(
     def collect(done):
         _collect(
             done, in_flight, results, registry, config,
-            on_repaired=on_repaired,
+            on_repaired=on_repaired, journal=journal, sim=sim,
         )
 
     with planner.traced(tracer):
@@ -480,6 +594,7 @@ def repair_full_node(
                     plan = _plan_stripe(
                         planner, network, sim, stripe, failed_node,
                         faults=faults if driver.active else None,
+                        preferred_requestor=driver.preferred_requestor(stripe),
                     )
                 except (ClusterError, PlanningError) as exc:
                     if not driver.active:
@@ -493,8 +608,16 @@ def repair_full_node(
                 )
                 collect(done_meanwhile)
                 driver.note_started(stripe, plan)
+                start_slice = driver.resume_slice(stripe, plan)
+                if journal is not None:
+                    journal.append(
+                        "task_start", t=sim.now, stripe=stripe.stripe_id,
+                        requestor=plan.requestor, scheme=plan.scheme,
+                        start_slice=start_slice,
+                    )
                 flight = _submit(
-                    sim, plan, config, stripe=stripe, max_rate=cap
+                    sim, plan, config, stripe=stripe, max_rate=cap,
+                    start_slice=start_slice,
                 )
                 in_flight[flight.handle.task_id] = flight
             if not in_flight:
@@ -527,11 +650,12 @@ def repair_full_node_adaptive(
     foreground=None,
     governor=None,
     sampler=None,
+    journal=None,
 ) -> FullNodeResult:
     """PivotRepair's adaptive full-node repair (recommendation values).
 
-    ``foreground`` / ``governor`` / ``sampler`` behave as in
-    :func:`repair_full_node`.
+    ``foreground`` / ``governor`` / ``sampler`` / ``journal`` behave as
+    in :func:`repair_full_node`.
     """
     scheduler = scheduler or SchedulerConfig()
     config = config or ExecutionConfig()
@@ -550,7 +674,7 @@ def repair_full_node_adaptive(
     results: list[RepairResult] = []
     driver = _FaultDriver(
         faults, retry_policy, sim, f"{planner.name}+strategy", tracer,
-        registry,
+        registry, config=config, journal=journal,
     )
     if foreground is not None:
         foreground.bind(sim, network)
@@ -560,7 +684,7 @@ def repair_full_node_adaptive(
     def collect(done):
         _collect(
             done, in_flight, results, registry, config,
-            on_repaired=on_repaired,
+            on_repaired=on_repaired, journal=journal, sim=sim,
         )
 
     with planner.traced(tracer):
@@ -573,6 +697,7 @@ def repair_full_node_adaptive(
                 planner, network, sim, pending, in_flight, failed_node,
                 scheduler, config, results, registry, tracer, driver,
                 foreground=foreground, on_repaired=on_repaired, max_rate=cap,
+                journal=journal,
             )
             if not in_flight:
                 continue
@@ -606,6 +731,7 @@ def _start_recommended(
     foreground=None,
     on_repaired=None,
     max_rate: float | None = None,
+    journal=None,
 ) -> None:
     """Start best-stripe tasks while their recommendation clears the bar."""
     idle_since: float | None = None
@@ -625,7 +751,12 @@ def _start_recommended(
         for index, stripe in enumerate(pending):
             try:
                 plan = _plan_stripe(
-                    planner, network, sim, stripe, failed_node, faults=faults
+                    planner, network, sim, stripe, failed_node, faults=faults,
+                    preferred_requestor=(
+                        driver.preferred_requestor(stripe)
+                        if driver is not None
+                        else None
+                    ),
                 )
             except (ClusterError, PlanningError) as exc:
                 if not faulted:
@@ -675,7 +806,7 @@ def _start_recommended(
         )
         _collect(
             done_meanwhile, in_flight, results, registry, config,
-            on_repaired=on_repaired,
+            on_repaired=on_repaired, journal=journal, sim=sim,
         )
         if tracer.enabled:
             tracer.instant(
@@ -685,8 +816,20 @@ def _start_recommended(
             )
         if driver is not None:
             driver.note_started(best_stripe, best_plan)
+        start_slice = (
+            driver.resume_slice(best_stripe, best_plan)
+            if driver is not None
+            else 0
+        )
+        if journal is not None:
+            journal.append(
+                "task_start", t=sim.now, stripe=best_stripe.stripe_id,
+                requestor=best_plan.requestor, scheme=best_plan.scheme,
+                start_slice=start_slice,
+            )
         flight = _submit(
-            sim, best_plan, config, stripe=best_stripe, max_rate=max_rate
+            sim, best_plan, config, stripe=best_stripe, max_rate=max_rate,
+            start_slice=start_slice,
         )
         in_flight[flight.handle.task_id] = flight
 

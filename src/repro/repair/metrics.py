@@ -31,6 +31,14 @@ class RepairResult:
     telemetry: dict | None = None
     #: Execution attempts the repair needed (> 1 after mid-repair re-plans).
     attempts: int = 1
+    #: Checkpoint/resume provenance: ``(plan, start_slice)`` per verified
+    #: slice range, in delivery order (each range ends where the next
+    #: starts; the last ends at the chunk's slice count).  Empty unless
+    #: the run was journaled/hedged — the cluster layer stitches and
+    #: decode-verifies these via ``rebuild_slice_range``.
+    segments: list = field(default_factory=list)
+    #: Hedged re-plans launched against gray failures (adopted or not).
+    hedges: int = 0
 
     @property
     def ok(self) -> bool:

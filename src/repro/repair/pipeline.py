@@ -54,6 +54,27 @@ def pipeline_bytes_per_edge(config: ExecutionConfig, depth: int) -> float:
     return config.chunk_size + (depth - 1) * config.slice_size
 
 
+def remaining_bytes_per_edge(
+    config: ExecutionConfig, depth: int, start_slice: int
+) -> float:
+    """Bytes each edge carries when resuming from a slice watermark.
+
+    A repair resuming at ``start_slice`` (the first slice not yet verified
+    at the requestor) only streams the remaining ``S - start_slice``
+    slices, but the new tree still pays its own pipeline fill of
+    ``(depth - 1)`` slices.  ``start_slice == 0`` is exactly
+    :func:`pipeline_bytes_per_edge`.
+    """
+    if depth < 1:
+        raise PlanningError(f"tree depth must be >= 1, got {depth}")
+    if not 0 <= start_slice < config.slices:
+        raise PlanningError(
+            f"start_slice must be in [0, {config.slices}), got {start_slice}"
+        )
+    remaining = config.chunk_size - start_slice * config.slice_size
+    return remaining + (depth - 1) * config.slice_size
+
+
 def pipeline_overhead_seconds(config: ExecutionConfig) -> float:
     """Serial per-slice handling cost over the whole chunk."""
     return config.slices * config.per_slice_overhead

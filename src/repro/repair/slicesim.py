@@ -47,10 +47,20 @@ def simulate_slices(
     tree: RepairTree,
     snapshot: BandwidthSnapshot,
     config: ExecutionConfig | None = None,
+    start_slice: int = 0,
 ) -> float:
-    """Transfer time of one pipelined single-chunk repair, slice level."""
+    """Transfer time of one pipelined single-chunk repair, slice level.
+
+    ``start_slice`` simulates a resumed repair: only the remaining
+    ``S - start_slice`` slices stream through the tree (the first
+    ``start_slice`` slices are already verified at the requestor).
+    """
     config = config or ExecutionConfig()
-    slices = config.slices
+    if not 0 <= start_slice < config.slices:
+        raise SimulationError(
+            f"start_slice must be in [0, {config.slices}), got {start_slice}"
+        )
+    slices = config.slices - start_slice
     slice_seconds: dict[int, float] = {}
     for helper in tree.helpers:
         rate = edge_rate(snapshot, tree, helper)

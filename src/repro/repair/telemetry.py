@@ -22,6 +22,9 @@ EVENT_PREFIXES = (
     "fault",
     "repair",
     "governor",
+    "journal",
+    "health",
+    "hedge",
 )
 
 

@@ -1,0 +1,214 @@
+"""Durable repair journal: an append-only JSONL write-ahead log.
+
+The journal is the persistence substrate of the resilience layer.  Every
+state transition a repair makes — task started, attempt submitted, slice
+watermark advanced, hedge launched/adopted/cancelled, chunk adopted by the
+master — is appended as one compact JSON record *before* the transition is
+acted on, so a crashed run (helper, orchestrator, or master) can be resumed
+from the last verified slice instead of restarting.
+
+Records are deterministic: fields serialise with sorted keys and no
+whitespace, sequence numbers are dense, and all timestamps are simulated
+time.  Two runs of the same seed produce byte-identical journals.
+
+Durability follows the classic WAL discipline: every append is written and
+flushed immediately; an ``os.fsync`` barrier is issued every
+``fsync_interval`` appends (and on ``close``), trading at most that many
+records on a host crash for not paying a synchronous disk barrier per
+record.  A journal without a path is a coordination-only in-memory log
+(used when only hedging, not durability, is wanted).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.obs.tracer import NULL_TRACER
+
+
+class JournalError(ReproError):
+    """A journal record could not be written, parsed, or replayed."""
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One immutable journal entry.
+
+    ``seq`` is the dense per-journal sequence number, ``t`` the simulated
+    time of the event, ``kind`` the record type (``run_config``,
+    ``task_start``, ``attempt``, ``progress``, ``attempt_failed``,
+    ``task_done``, ``straggler``, ``hedge_launch``, ``hedge_adopt``,
+    ``hedge_cancel``, ``master_checkpoint``, ``chunk_adopted``), and
+    ``data`` the kind-specific payload.
+    """
+
+    seq: int
+    t: float
+    kind: str
+    data: dict
+
+    def to_json(self) -> str:
+        """Serialise deterministically (sorted keys, no whitespace)."""
+        return json.dumps(
+            {"seq": self.seq, "t": self.t, "kind": self.kind,
+             "data": self.data},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> JournalRecord:
+        try:
+            raw = json.loads(line)
+            return cls(
+                seq=int(raw["seq"]),
+                t=float(raw["t"]),
+                kind=str(raw["kind"]),
+                data=dict(raw["data"]),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise JournalError(f"malformed journal record: {line!r}") from exc
+
+
+class RepairJournal:
+    """Append-only repair journal with fsync barriers and query helpers."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike | None = None,
+        fsync_interval: int = 8,
+        tracer=NULL_TRACER,
+    ):
+        if fsync_interval < 1:
+            raise JournalError("fsync_interval must be >= 1")
+        self.path = Path(path) if path is not None else None
+        self.fsync_interval = fsync_interval
+        self.tracer = tracer
+        self.records: list[JournalRecord] = []
+        self.appends = 0
+        self.fsyncs = 0
+        self._next_seq = 0
+        self._file = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, kind: str, t: float = 0.0, **data) -> JournalRecord:
+        """Append one record; flush it; fsync at barrier points."""
+        record = JournalRecord(
+            seq=self._next_seq, t=float(t), kind=kind, data=data
+        )
+        self._next_seq += 1
+        self.records.append(record)
+        self.appends += 1
+        if self._file is not None:
+            self._file.write(record.to_json() + "\n")
+            self._file.flush()
+            if self.appends % self.fsync_interval == 0:
+                os.fsync(self._file.fileno())
+                self.fsyncs += 1
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "journal.append", t=record.t, track="journal",
+                kind=kind, seq=record.seq,
+            )
+        return record
+
+    def close(self) -> None:
+        """Fsync any tail records and close the backing file."""
+        if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.fsyncs += 1
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> RepairJournal:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(
+        cls,
+        path: str | os.PathLike,
+        tracer=NULL_TRACER,
+        fsync_interval: int = 8,
+    ) -> RepairJournal:
+        """Reopen an existing journal; appends continue the sequence."""
+        source = Path(path)
+        if not source.exists():
+            raise JournalError(f"journal not found: {source}")
+        records = [
+            JournalRecord.from_json(line)
+            for line in source.read_text(encoding="utf-8").splitlines()
+            if line.strip()
+        ]
+        journal = cls(
+            path=source, fsync_interval=fsync_interval, tracer=tracer
+        )
+        journal.records = records
+        journal._next_seq = (
+            max(r.seq for r in records) + 1 if records else 0
+        )
+        return journal
+
+    # ------------------------------------------------------------------
+    # Queries (replay helpers)
+    # ------------------------------------------------------------------
+    def all(self, kind: str) -> list[JournalRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def last(self, kind: str) -> JournalRecord | None:
+        for record in reversed(self.records):
+            if record.kind == kind:
+                return record
+        return None
+
+    def run_config(self) -> dict | None:
+        """The run's reproducibility envelope, if one was recorded."""
+        record = self.last("run_config")
+        return dict(record.data) if record is not None else None
+
+    def watermark(self, stripe: int) -> tuple[int, int] | None:
+        """Last recorded (slice watermark, requestor) for a stripe."""
+        for record in reversed(self.records):
+            if (
+                record.kind == "progress"
+                and record.data.get("stripe") == stripe
+            ):
+                return (
+                    int(record.data["watermark"]),
+                    int(record.data.get("requestor", -1)),
+                )
+        return None
+
+    def done_stripes(self) -> set[int]:
+        """Stripes whose repair task completed (simulator orchestrators)."""
+        return {
+            int(r.data["stripe"])
+            for r in self.records
+            if r.kind == "task_done" and "stripe" in r.data
+        }
+
+    def adopted_stripes(self) -> set[int]:
+        """Stripes whose repaired chunk the master already adopted."""
+        return {
+            int(r.data["stripe"])
+            for r in self.records
+            if r.kind == "chunk_adopted" and "stripe" in r.data
+        }

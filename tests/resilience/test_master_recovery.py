@@ -1,0 +1,151 @@
+"""Master crash recovery: journaled scheduling must replay idempotently.
+
+The acceptance criterion: kill the master partway through a full-node
+repair, recover from the journal, and end with exactly the adoptions an
+uninterrupted run performs — no stripe repaired twice, no stripe lost.
+Replaying a finished journal is a no-op that leaves every chunk byte on
+every node untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.master import Cluster
+from repro.core import PivotRepairPlanner
+from repro.ec import RSCode
+from repro.network.topology import StarNetwork
+from repro.resilience import (
+    JournalError,
+    RepairJournal,
+    recover_full_node,
+    run_full_node_journaled,
+)
+
+MiB = 1024 * 1024
+NODE_COUNT = 10
+CODE = RSCode(6, 4)
+STRIPES = 5
+FAILED = 0
+
+
+def make_cluster(seed=21) -> Cluster:
+    cluster = Cluster(NODE_COUNT, CODE)
+    rng = np.random.default_rng(seed)
+    cluster.write_random_stripes(STRIPES, 64 * 1024, rng)
+    cluster.fail_node(FAILED)
+    return cluster
+
+
+def network():
+    return StarNetwork.uniform(NODE_COUNT, 10 * MiB)
+
+
+def snapshot_bytes(cluster: Cluster) -> dict:
+    return {
+        (node.node_id, chunk_id): node.read(chunk_id).tobytes()
+        for node in cluster.nodes
+        for chunk_id in node.chunk_ids()
+    }
+
+
+class TestMasterRecovery:
+    def test_uninterrupted_run_adopts_all(self):
+        cluster = make_cluster()
+        lost = len(cluster.lost_chunks(FAILED))
+        assert lost > 0
+        journal = RepairJournal()
+        result = run_full_node_journaled(
+            cluster, PivotRepairPlanner(), network(), FAILED, journal
+        )
+        assert result.completed
+        assert len(result.adopted) == lost
+        assert journal.adopted_stripes() == set(result.queue)
+        assert cluster.lost_chunks(FAILED) == []
+
+    def test_crash_then_recover_matches_uninterrupted(self):
+        baseline = make_cluster()
+        base_journal = RepairJournal()
+        base = run_full_node_journaled(
+            baseline, PivotRepairPlanner(), network(), FAILED, base_journal
+        )
+
+        cluster = make_cluster()
+        journal = RepairJournal()
+        crashed = run_full_node_journaled(
+            cluster, PivotRepairPlanner(), network(), FAILED, journal,
+            crash_after=2,
+        )
+        assert crashed.crashed
+        assert not crashed.completed
+        assert len(crashed.adopted) == 2
+
+        recovered = recover_full_node(
+            cluster, PivotRepairPlanner(), network(), FAILED, journal
+        )
+        assert recovered.completed
+        assert not recovered.crashed
+        # Crash + recovery adopt exactly what one clean run adopts — the
+        # same stripes, in the same checkpointed queue order.
+        assert crashed.adopted + recovered.adopted == base.adopted
+        assert recovered.queue == base.queue
+        assert set(recovered.skipped) == set(crashed.adopted)
+        assert snapshot_bytes(cluster) == snapshot_bytes(baseline)
+
+    def test_second_replay_is_a_no_op(self):
+        cluster = make_cluster()
+        journal = RepairJournal()
+        run_full_node_journaled(
+            cluster, PivotRepairPlanner(), network(), FAILED, journal,
+            crash_after=1,
+        )
+        recover_full_node(
+            cluster, PivotRepairPlanner(), network(), FAILED, journal
+        )
+        before = snapshot_bytes(cluster)
+        adopted_before = journal.adopted_stripes()
+        again = recover_full_node(
+            cluster, PivotRepairPlanner(), network(), FAILED, journal
+        )
+        assert again.completed
+        assert again.adopted == []
+        assert set(again.skipped) == adopted_before
+        assert journal.adopted_stripes() == adopted_before
+        assert snapshot_bytes(cluster) == before
+
+    def test_checkpoint_survives_on_disk(self, tmp_path):
+        path = tmp_path / "master.jsonl"
+        cluster = make_cluster()
+        with RepairJournal(path) as journal:
+            run_full_node_journaled(
+                cluster, PivotRepairPlanner(), network(), FAILED, journal,
+                crash_after=2,
+            )
+        # The master process is gone; a fresh one loads the journal file
+        # and finishes the queue.
+        with RepairJournal.load(path) as loaded:
+            recovered = recover_full_node(
+                cluster, PivotRepairPlanner(), network(), FAILED, loaded
+            )
+        assert recovered.completed
+        assert cluster.lost_chunks(FAILED) == []
+
+    def test_recover_requires_checkpoint(self):
+        cluster = make_cluster()
+        with pytest.raises(JournalError):
+            recover_full_node(
+                cluster, PivotRepairPlanner(), network(), FAILED,
+                RepairJournal(),
+            )
+
+    def test_checkpoint_for_other_node_rejected(self):
+        cluster = make_cluster()
+        journal = RepairJournal()
+        run_full_node_journaled(
+            cluster, PivotRepairPlanner(), network(), FAILED, journal,
+            crash_after=1,
+        )
+        with pytest.raises(JournalError):
+            run_full_node_journaled(
+                cluster, PivotRepairPlanner(), network(), FAILED + 1,
+                journal,
+            )
