@@ -57,10 +57,16 @@ from repro.loadgen import (
 from repro.network.topology import StarNetwork
 from repro.obs import (
     NULL_TRACER,
+    Dashboard,
     FlightRecorder,
+    LiveTop,
+    SLOMonitor,
+    SLOSpec,
+    TimeSeriesDB,
     Tracer,
     diagnose,
     events_from_jsonl,
+    render_exposition,
     render_html_report,
     samples_from_jsonl,
     write_trace,
@@ -285,6 +291,47 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--html", type=Path, required=True, metavar="PATH",
         help="output HTML file (self-contained, inline SVG, no assets)",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live telemetry dashboard of a full-node repair run",
+        description="Run a seeded full-node repair with the telemetry "
+        "plane on (flight recorder feeding the simulated-time TSDB, "
+        "per-tenant SLO burn monitoring) and show a refreshing "
+        "terminal dashboard: per-node link utilization, per-class "
+        "throughput, tenant latency and SLO burn, governor cap, "
+        "firing alerts.  --once renders a single frame at the end of "
+        "the run instead (CI snapshot mode).",
+    )
+    _add_explain_args(top)
+    top.add_argument(
+        "--once", action="store_true",
+        help="no live view: run to completion, print one final frame",
+    )
+    top.add_argument(
+        "--refresh", type=float, default=1.0, metavar="SECONDS",
+        help="live frame period, simulated seconds",
+    )
+    top.add_argument(
+        "--tenants", type=int, default=2,
+        help="foreground tenants (tenant-0..N-1); needs --foreground-rate",
+    )
+    top.add_argument(
+        "--slo-budget", type=float, default=0.05,
+        help="latency SLO: allowed fraction of requests above --slo-ms",
+    )
+    top.add_argument(
+        "--repair-deadline", type=float, default=0.0, metavar="SECONDS",
+        help="also watch a repair-deadline SLO (0 = off)",
+    )
+    top.add_argument(
+        "--prom-out", type=Path, default=None, metavar="PATH",
+        help="write the final telemetry as Prometheus text exposition",
+    )
+    top.add_argument(
+        "--tsdb-out", type=Path, default=None, metavar="PATH",
+        help="write the final TSDB contents as JSONL",
     )
     return parser
 
@@ -979,6 +1026,154 @@ def _cmd_report(args, tracer=NULL_TRACER) -> dict:
     }
 
 
+def _cmd_top(args, tracer=NULL_TRACER) -> dict:
+    """Full-node repair with the live telemetry plane and dashboard."""
+    if args.target.suffix == ".jsonl":
+        raise ReproError(
+            "repro top runs a scenario: pass an .npz workload trace "
+            "(see `repro trace generate`)"
+        )
+    trace = WorkloadTrace.load(args.target)
+    code = RSCode(args.n, args.k)
+    rng = np.random.default_rng(args.seed)
+    stripes = place_stripes(args.stripes, code, trace.node_count, rng)
+    failed = stripes[0].placement[0]
+    config = ExecutionConfig(chunk_size=mib(args.chunk_mib))
+    faults, policy = _parse_faults(args)
+    tsdb = TimeSeriesDB(capacity=args.sample_capacity)
+    sampler = FlightRecorder(
+        interval=args.sample_interval, capacity=args.sample_capacity,
+        tsdb=tsdb,
+    )
+    make_planner = SCHEME_FACTORIES[args.scheme]
+    tenants = tuple(f"tenant-{i}" for i in range(max(args.tenants, 1)))
+    foreground = None
+    if args.foreground_rate > 0:
+        network = StarNetwork.uniform(trace.node_count, trace.capacity)
+        profile = LoadProfile(
+            name=trace.name,
+            arrival_rate=args.foreground_rate,
+            duration=float(trace.sample_count),
+            read_fraction=0.9,
+            request_size=int(mib(1.0)),
+            zipf_s=0.9,
+            modulation="trace",
+            tenants=tenants,
+        )
+        requests = generate_requests(
+            profile, stripes, trace.node_count, seed=args.seed,
+            rate_profile=rate_profile_from_trace(trace),
+        )
+        foreground = ForegroundEngine(
+            stripes, requests,
+            _pin_planning(make_planner(), args.planning_seconds),
+            failed_nodes={failed}, faults=faults, tsdb=tsdb,
+        )
+    else:
+        network = trace.to_network(floor=1e6)
+    governor = None
+    if args.governor != "none":
+        governor_kwargs = {
+            "static": {"cap": mbps(args.static_cap_mbps)},
+            "adaptive": {"slo_p99": args.slo_ms / 1000.0},
+        }[args.governor]
+        governor = make_governor(args.governor, **governor_kwargs)
+    specs = []
+    if foreground is not None:
+        specs.extend(
+            SLOSpec(
+                name=f"latency-{tenant}", kind="latency", tenant=tenant,
+                threshold=args.slo_ms / 1000.0, budget=args.slo_budget,
+            )
+            for tenant in tenants
+        )
+    if args.repair_deadline > 0:
+        specs.append(
+            SLOSpec(
+                name="repair-deadline", kind="repair_deadline",
+                deadline=args.repair_deadline,
+            )
+        )
+    monitor = SLOMonitor(tsdb, specs, tracer=tracer)
+    sampler.add_listener(monitor.on_tick)
+    if governor is not None and hasattr(governor, "on_slo_alert"):
+        monitor.subscribe(governor.on_slo_alert)
+    dashboard = Dashboard(tsdb, slo=monitor)
+    live = None
+    if not args.once:
+        live = LiveTop(dashboard, sys.stdout, refresh=args.refresh)
+        sampler.add_listener(live.on_tick)
+    result = repair_full_node(
+        _pin_planning(make_planner(), args.planning_seconds),
+        network, stripes, failed,
+        concurrency=args.concurrency, config=config, tracer=tracer,
+        faults=faults, retry_policy=policy,
+        foreground=foreground, governor=governor, sampler=sampler,
+    )
+    if foreground is not None:
+        foreground.drain()
+    # ``drain`` advances simulated time past the repair's end, so the
+    # closing evaluation happens at the last sampled instant — never
+    # rewinding the monitor into an earlier (possibly empty) window.
+    end = result.total_seconds
+    if sampler.samples:
+        end = max(end, sampler.samples[-1].t)
+    monitor.evaluate(end)
+    args.recorded_samples = list(sampler.samples)
+    args.recorded_registry = (
+        foreground.registry if foreground is not None else None
+    )
+    if args.prom_out is not None:
+        args.prom_out.write_text(
+            render_exposition(registry=args.recorded_registry, tsdb=tsdb)
+        )
+    if args.tsdb_out is not None:
+        args.tsdb_out.write_text(tsdb.to_jsonl())
+    final_frame = dashboard.render(end)
+    if live is not None:
+        rendered = (
+            f"run complete: {end:.2f}s simulated, "
+            f"{live.frames} frames, {len(monitor.alerts)} SLO "
+            f"transitions ({len(monitor.firing())} firing)"
+        )
+    else:
+        rendered = final_frame
+    return {
+        "scenario": {
+            "trace": trace.name,
+            "failed_node": failed,
+            "seed": args.seed,
+            "scheme": args.scheme,
+            "governor": args.governor,
+            "foreground_rate": args.foreground_rate,
+            "tenants": list(tenants) if foreground is not None else [],
+            "repair_seconds": round(result.total_seconds, 3),
+            "samples": len(sampler.samples),
+        },
+        "tsdb": {
+            "series": len(tsdb),
+            "points": tsdb.total_points,
+            "dropped": tsdb.dropped,
+        },
+        "slo": {
+            "specs": [spec.to_dict() for spec in specs],
+            "firing": monitor.firing(),
+            "alerts": [
+                {
+                    "name": alert.name,
+                    "tenant": alert.tenant,
+                    "kind": alert.kind,
+                    "t": round(alert.t, 4),
+                    "burn_short": round(alert.burn_short, 4),
+                    "burn_long": round(alert.burn_long, 4),
+                }
+                for alert in monitor.alerts
+            ],
+        },
+        "rendered": rendered,
+    }
+
+
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
@@ -1000,7 +1195,7 @@ def _render(args, payload: dict) -> str:
     if args.json:
         payload = {k: v for k, v in payload.items() if k != "rendered"}
         return json.dumps(payload, indent=2)
-    if args.command in ("explain", "report"):
+    if args.command in ("explain", "report", "top"):
         return payload["rendered"]
     if args.command == "plan":
         lines = [
@@ -1133,7 +1328,7 @@ def main(argv: list[str] | None = None) -> int:
         args.trace is not None
         or args.timeline
         or args.metrics
-        or args.command in ("explain", "report")
+        or args.command in ("explain", "report", "top")
     )
     tracer = Tracer() if tracing else NULL_TRACER
     try:
@@ -1154,6 +1349,8 @@ def main(argv: list[str] | None = None) -> int:
             payload = _cmd_explain(args, tracer)
         elif args.command == "report":
             payload = _cmd_report(args, tracer)
+        elif args.command == "top":
+            payload = _cmd_top(args, tracer)
         elif args.command == "resume":
             payload = _cmd_resume(args, tracer)
         else:
@@ -1171,6 +1368,7 @@ def main(argv: list[str] | None = None) -> int:
                 args.trace,
                 fmt=args.trace_format,
                 samples=getattr(args, "recorded_samples", ()),
+                registry=getattr(args, "recorded_registry", None),
             )
         except OSError as error:
             print(f"error: cannot write trace: {error}", file=sys.stderr)

@@ -61,6 +61,8 @@ class ForegroundEngine:
             failed nodes (both as read targets and as helpers).
         registry: metrics registry to fill; a private one by default.
         recent_window: seconds of completed reads the governors see.
+        tsdb: optional :class:`~repro.obs.timeseries.TimeSeriesDB`;
+            every completion appends per-tenant latency and byte series.
     """
 
     def __init__(
@@ -72,6 +74,7 @@ class ForegroundEngine:
         faults=None,
         registry: MetricsRegistry | None = None,
         recent_window: float = 5.0,
+        tsdb=None,
     ):
         if recent_window <= 0:
             raise LoadGenError("recent window must be positive")
@@ -81,6 +84,7 @@ class ForegroundEngine:
         self.faults = faults
         self.registry = registry or MetricsRegistry()
         self.recent_window = recent_window
+        self.tsdb = tsdb
         self._queue = deque(sorted(requests, key=lambda r: r.arrival))
         for request in self._queue:
             if request.stripe_id not in self.stripes:
@@ -210,6 +214,7 @@ class ForegroundEngine:
         now = sim.now
         arrival = request.arrival + self._offset
         self.registry.counter("fg_requests").inc()
+        self.registry.counter("fg_requests", tenant=request.tenant).inc()
         if request.kind == READ:
             self._submit_read(request, arrival, now)
         else:
@@ -330,9 +335,16 @@ class ForegroundEngine:
         self.outcomes.append(outcome)
         latency = outcome.latency
         request = outcome.request
+        tenant = request.tenant
         self.registry.counter("fg_bytes").inc(outcome.bytes_moved)
+        self.registry.counter("fg_bytes", tenant=tenant).inc(
+            outcome.bytes_moved
+        )
         if request.kind == READ:
             self.registry.histogram("fg_read_latency").observe(latency)
+            self.registry.histogram(
+                "fg_read_latency", tenant=tenant
+            ).observe(latency)
             if outcome.degraded:
                 self.registry.histogram("fg_degraded_latency").observe(
                     latency
@@ -340,6 +352,21 @@ class ForegroundEngine:
             self._recent.append((outcome.finished, latency))
         else:
             self.registry.histogram("fg_write_latency").observe(latency)
+        if self.tsdb is not None:
+            series = (
+                "fg_read_latency" if request.kind == READ
+                else "fg_write_latency"
+            )
+            self.tsdb.record(
+                series, outcome.finished, latency, tenant=tenant
+            )
+            self.tsdb.inc(
+                "fg_bytes_total", outcome.finished, outcome.bytes_moved,
+                tenant=tenant,
+            )
+            self.tsdb.inc(
+                "fg_requests_total", outcome.finished, 1.0, tenant=tenant
+            )
 
     def note_repaired(self, stripe: Stripe, chunk_index: int, node: int) -> None:
         """Record that a repair rebuilt a chunk on ``node``.
@@ -363,6 +390,13 @@ class ForegroundEngine:
     @property
     def degraded_reads(self) -> int:
         return int(self.registry.counter("fg_degraded_reads").value)
+
+    def tenants(self) -> list[str]:
+        """Tenant names seen anywhere in the request stream, sorted."""
+        seen = {request.tenant for request in self._queue}
+        seen.update(o.request.tenant for o in self.outcomes)
+        seen.update(r.tenant for r, _, _ in self._pending.values())
+        return sorted(seen)
 
     def read_latency(self) -> Histogram:
         return self.registry.histogram("fg_read_latency")

@@ -63,6 +63,12 @@ class LoadProfile:
     burst_duration: float = 5.0
     #: Rate multiplier inside a burst episode.
     burst_multiplier: float = 4.0
+    #: Tenant names requests are attributed to (telemetry/SLO labels).
+    #: Empty = single anonymous tenant ("default"); with one name every
+    #: request carries it; with several, each request draws a tenant
+    #: uniformly.  Zero or one tenant consumes no extra randomness, so
+    #: existing seeded streams are byte-identical.
+    tenants: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.arrival_rate < 0:
@@ -88,6 +94,10 @@ class LoadProfile:
             raise LoadGenError("bad burst parameters")
         if self.burst_multiplier < 1:
             raise LoadGenError("burst multiplier must be >= 1")
+        if len(set(self.tenants)) != len(self.tenants) or any(
+            not name for name in self.tenants
+        ):
+            raise LoadGenError("tenant names must be unique and non-empty")
 
 
 def zipf_weights(count: int, s: float) -> np.ndarray:
@@ -210,6 +220,12 @@ def generate_requests(
         else:
             chunk_index = 0
             client = int(rng.integers(0, node_count))
+        if len(profile.tenants) > 1:
+            tenant = profile.tenants[int(rng.integers(0, len(profile.tenants)))]
+        elif profile.tenants:
+            tenant = profile.tenants[0]
+        else:
+            tenant = "default"
         requests.append(
             ClientRequest(
                 arrival=t,
@@ -218,5 +234,6 @@ def generate_requests(
                 chunk_index=chunk_index,
                 client=client,
                 size=profile.request_size,
+                tenant=tenant,
             )
         )

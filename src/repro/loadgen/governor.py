@@ -143,6 +143,8 @@ class AdaptiveSLOGovernor(RepairQoSGovernor):
         self._cap: float | None = None
         #: (time, p99, cap) decision log, for reports and tests.
         self.decisions: list[tuple[float, float, float | None]] = []
+        #: Firing SLO alerts consumed through :meth:`on_slo_alert`.
+        self.slo_alerts = 0
 
     def repair_rate_cap(self, now, foreground):
         p99 = (
@@ -160,6 +162,22 @@ class AdaptiveSLOGovernor(RepairQoSGovernor):
                 self._cap = None if grown >= self.reference_rate else grown
         self.decisions.append((now, p99, self._cap))
         return self._cap
+
+    def on_slo_alert(self, alert) -> None:
+        """SLO-monitor hook: a firing burn-rate alert cuts the cap now.
+
+        Subscribe with ``monitor.subscribe(governor.on_slo_alert)``.  The
+        multi-window burn rate reacts to sustained budget spend that the
+        instantaneous p99 check can miss (e.g. a tenant burning budget
+        slowly but steadily), so a fire transition applies one immediate
+        multiplicative backoff; resolve transitions are ignored — the
+        normal AIMD recovery path re-grows the cap.
+        """
+        if not getattr(alert, "firing", False):
+            return
+        self.slo_alerts += 1
+        base = self._cap if self._cap is not None else self.reference_rate
+        self._cap = max(self.floor_rate, base * self.decrease)
 
     @property
     def current_cap(self):

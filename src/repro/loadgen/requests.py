@@ -31,6 +31,7 @@ class ClientRequest:
         chunk_index: data chunk a read targets (ignored for writes).
         client: node issuing the request.
         size: object bytes moved by the request.
+        tenant: workload the request belongs to (telemetry/SLO label).
     """
 
     arrival: float
@@ -39,6 +40,7 @@ class ClientRequest:
     chunk_index: int
     client: int
     size: int
+    tenant: str = "default"
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
@@ -47,6 +49,8 @@ class ClientRequest:
             raise LoadGenError(f"unknown request kind {self.kind!r}")
         if self.size <= 0:
             raise LoadGenError("request size must be positive")
+        if not self.tenant:
+            raise LoadGenError("request tenant cannot be empty")
 
 
 @dataclass

@@ -27,6 +27,19 @@ On top of those, run analysis:
   an oracle ``B_min``, with invariant checks (``repro explain``);
 * :mod:`repro.obs.report` — a self-contained single-file HTML dashboard
   for a diagnosed run (``repro report --html``).
+
+And the streaming telemetry plane (see ``docs/telemetry.md``):
+
+* :mod:`repro.obs.timeseries` — a ring-buffered **simulated-time TSDB**
+  fed by the flight recorder, loadgen engine and repair orchestrators,
+  with windowed rate/avg/max/percentile queries, JSONL round-trip and
+  Prometheus text exposition;
+* :mod:`repro.obs.slo` — per-tenant **SLO burn-rate monitoring**
+  (multi-window, Google SRE style) with alert hooks the QoS governor
+  and hedging health monitor consume;
+* :mod:`repro.obs.promtext` — Prometheus exposition rendering and a
+  pure-python format lint;
+* :mod:`repro.obs.top` — the ``repro top`` live terminal dashboard.
 """
 
 from repro.obs.analysis import (
@@ -41,28 +54,50 @@ from repro.obs.export import (
     to_jsonl,
     write_trace,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_labels,
+)
+from repro.obs.promtext import lint as prometheus_lint
+from repro.obs.promtext import render_exposition
 from repro.obs.report import render_html_report
 from repro.obs.sampler import FlightRecorder, Sample, samples_from_jsonl
+from repro.obs.slo import SLOAlert, SLOMonitor, SLOSpec, SLOStatus
+from repro.obs.timeseries import Series, TimeSeriesDB
+from repro.obs.top import Dashboard, LiveTop
 from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
 
 __all__ = [
     "BottleneckLink",
     "Counter",
+    "Dashboard",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LiveTop",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "RepairDiagnosis",
     "RunDiagnosis",
+    "SLOAlert",
+    "SLOMonitor",
+    "SLOSpec",
+    "SLOStatus",
     "Sample",
+    "Series",
+    "TimeSeriesDB",
     "TraceEvent",
     "Tracer",
     "diagnose",
     "events_from_jsonl",
+    "prometheus_lint",
+    "render_exposition",
     "render_html_report",
+    "render_labels",
     "samples_from_jsonl",
     "to_chrome_trace",
     "to_jsonl",

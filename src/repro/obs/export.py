@@ -17,6 +17,7 @@ import json
 from collections.abc import Iterable, Sequence
 from pathlib import Path
 
+from repro.obs.metrics import render_labels
 from repro.obs.tracer import TraceEvent
 
 __all__ = [
@@ -89,14 +90,20 @@ def _track_order(tracks: Iterable[str]) -> dict[str, int]:
 
 
 def to_chrome_trace(
-    events: Sequence[TraceEvent], samples: Sequence = ()
+    events: Sequence[TraceEvent], samples: Sequence = (), registry=None
 ) -> dict:
     """Build the Chrome trace-event JSON object for a list of events.
 
     ``samples`` (flight-recorder :class:`~repro.obs.sampler.Sample`
     records) become counter (``C``) series: per-node up/down link
-    utilization plus the aggregate per-class rates, rendered as stacked
-    counter tracks in Perfetto above the flow timeline.
+    utilization, the aggregate per-class rates, and the governor's
+    repair cap when one was in force, rendered as stacked counter
+    tracks in Perfetto above the flow timeline.  ``registry`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) adds one final counter
+    event per **labeled** counter family — the run-total value of each
+    label set (e.g. ``hedge_events`` split by ``kind``).  Both inputs
+    are optional and may be empty; the trace stays well-formed either
+    way.
     """
     tids = _track_order(event.track for event in events)
     trace_events: list[dict] = [
@@ -144,6 +151,7 @@ def to_chrome_trace(
         )
     for sample in samples:
         trace_events.extend(_counters(sample))
+    trace_events.extend(_family_counters(registry, events, samples))
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -183,6 +191,53 @@ def _counters(sample) -> list[dict]:
                 "args": dict(sorted(sample.rate_by_kind.items())),
             }
         )
+    if sample.repair_cap is not None:
+        out.append(
+            {
+                "name": "repair cap (bytes/s)",
+                "ph": "C",
+                "ts": ts,
+                "pid": TRACE_PID,
+                "args": {"cap": sample.repair_cap},
+            }
+        )
+    return out
+
+
+def _family_counters(registry, events, samples) -> list[dict]:
+    """One final ``C`` event per labeled counter family of a registry.
+
+    Counters are run totals, so each family gets a single event at the
+    last known timestamp with one arg per label set (rendered
+    ``{k="v"}`` form).  Unlabeled counters stay out — they already
+    appear in the telemetry snapshot and carry no series structure.
+    """
+    if registry is None:
+        return []
+    ts = max(
+        [event.t for event in events]
+        + [sample.t for sample in samples]
+        + [0.0]
+    ) * 1e6
+    out = []
+    for name, family_type in registry.families().items():
+        if family_type != "counter":
+            continue
+        labeled = [m for m in registry.series(name) if m.labels]
+        if not labeled:
+            continue
+        out.append(
+            {
+                "name": name,
+                "ph": "C",
+                "ts": ts,
+                "pid": TRACE_PID,
+                "args": {
+                    render_labels(metric.labels): metric.value
+                    for metric in labeled
+                },
+            }
+        )
     return out
 
 
@@ -204,18 +259,23 @@ def write_trace(
     fmt: str = "jsonl",
     include_wall: bool = False,
     samples: Sequence = (),
+    registry=None,
 ) -> Path:
     """Write events to ``path`` in ``jsonl`` or ``chrome`` format.
 
-    ``samples`` only affects the ``chrome`` format, where they add
-    utilization/rate counter tracks (see :func:`to_chrome_trace`).
+    ``samples`` and ``registry`` only affect the ``chrome`` format,
+    where they add utilization/rate and labeled-counter tracks (see
+    :func:`to_chrome_trace`).
     """
     path = Path(path)
     if fmt == "jsonl":
         path.write_text(to_jsonl(events, include_wall=include_wall))
     elif fmt == "chrome":
         path.write_text(
-            json.dumps(to_chrome_trace(events, samples=samples), indent=1)
+            json.dumps(
+                to_chrome_trace(events, samples=samples, registry=registry),
+                indent=1,
+            )
         )
     else:
         raise ValueError(f"unknown trace format {fmt!r}")

@@ -5,6 +5,17 @@ into the ``telemetry`` field of the result records.  Metric names are
 plain strings; per-node series use a ``name/node`` convention (e.g.
 ``bytes_up/3``) which :meth:`MetricsRegistry.snapshot` also folds into
 nested ``per_node_*`` maps for convenient consumption.
+
+Metrics may also carry **label sets** (Prometheus-style families)::
+
+    registry.counter("repair_bytes", node=7, kind="hedge").inc(n)
+
+Each distinct label set of a family is its own child metric.  The
+unlabeled API is the degenerate case (empty label set), so existing call
+sites and the :meth:`MetricsRegistry.snapshot` schema are unchanged:
+labeled children appear in the same flat sections under their canonical
+rendered name (``repair_bytes{kind="hedge",node="7"}``, keys sorted) and
+additionally under a ``families`` map that keeps the labels structured.
 """
 
 from __future__ import annotations
@@ -13,17 +24,38 @@ import math
 import random
 import zlib
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_labels",
+]
+
+
+def _label_items(labels: dict) -> tuple[tuple[str, str], ...]:
+    """Canonical (sorted, stringified) form of a label set."""
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def render_labels(labels: dict) -> str:
+    """Render a label set as ``{k="v",...}`` (empty string when none)."""
+    items = _label_items(labels)
+    if not items:
+        return ""
+    body = ",".join(f'{key}="{value}"' for key, value in items)
+    return "{" + body + "}"
 
 
 class Counter:
     """Monotonically increasing value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
         self.value = 0.0
+        self.labels: dict[str, str] = dict(_label_items(labels or {}))
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -34,11 +66,12 @@ class Counter:
 class Gauge:
     """Last-write-wins value."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: dict | None = None):
         self.name = name
         self.value = 0.0
+        self.labels: dict[str, str] = dict(_label_items(labels or {}))
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -63,12 +96,18 @@ class Histogram:
     """
 
     __slots__ = ("name", "samples", "count", "_min", "_max", "_sum",
-                 "_reservoir_size", "_rng")
+                 "_reservoir_size", "_rng", "labels")
 
-    def __init__(self, name: str, reservoir_size: int = DEFAULT_RESERVOIR_SIZE):
+    def __init__(
+        self,
+        name: str,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+        labels: dict | None = None,
+    ):
         if reservoir_size < 1:
             raise ValueError("reservoir size must be >= 1")
         self.name = name
+        self.labels: dict[str, str] = dict(_label_items(labels or {}))
         self.samples: list[float] = []
         self.count = 0
         self._min = math.inf
@@ -84,6 +123,11 @@ class Histogram:
         """True while every observation is still held verbatim."""
         return self.count == len(self.samples)
 
+    @property
+    def total(self) -> float:
+        """Sum of every observation (exact at any volume)."""
+        return self._sum
+
     def observe(self, value: float) -> None:
         value = float(value)
         self.count += 1
@@ -96,7 +140,8 @@ class Histogram:
             self.samples.append(value)
             return
         if self._rng is None:
-            self._rng = random.Random(zlib.crc32(self.name.encode()))
+            seed_key = self.name + render_labels(self.labels)
+            self._rng = random.Random(zlib.crc32(seed_key.encode()))
         slot = self._rng.randrange(self.count)
         if slot < self._reservoir_size:
             self.samples[slot] = value
@@ -131,67 +176,121 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters, gauges, and histograms for one run."""
+    """Named counters, gauges, and histograms for one run.
+
+    A metric is addressed by ``(name, label set)``; the empty label set
+    is the classic unlabeled metric.  A *family* (one name, any number of
+    label sets) has a single type — registering ``x`` as a counter and
+    ``x{k="v"}`` as a gauge raises, exactly like the unlabeled collision
+    check always did.
+    """
 
     def __init__(self):
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        #: family name -> metric type ("counter" | "gauge" | "histogram").
+        self._types: dict[str, str] = {}
 
-    def counter(self, name: str) -> Counter:
-        metric = self._counters.get(name)
+    def _key(self, name: str, labels: dict) -> str:
+        return name + render_labels(labels)
+
+    def _claim(self, name: str, metric_type: str) -> None:
+        registered = self._types.setdefault(name, metric_type)
+        if registered != metric_type:
+            raise ValueError(
+                f"metric {name!r} already registered with another type"
+            )
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = self._key(name, labels)
+        metric = self._counters.get(key)
         if metric is None:
-            self._check_free(name, self._gauges, self._histograms)
-            metric = self._counters[name] = Counter(name)
+            self._claim(name, "counter")
+            metric = self._counters[key] = Counter(name, labels)
         return metric
 
-    def gauge(self, name: str) -> Gauge:
-        metric = self._gauges.get(name)
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = self._key(name, labels)
+        metric = self._gauges.get(key)
         if metric is None:
-            self._check_free(name, self._counters, self._histograms)
-            metric = self._gauges[name] = Gauge(name)
+            self._claim(name, "gauge")
+            metric = self._gauges[key] = Gauge(name, labels)
         return metric
 
-    def histogram(self, name: str) -> Histogram:
-        metric = self._histograms.get(name)
+    def histogram(self, name: str, **labels) -> Histogram:
+        key = self._key(name, labels)
+        metric = self._histograms.get(key)
         if metric is None:
-            self._check_free(name, self._counters, self._gauges)
-            metric = self._histograms[name] = Histogram(name)
+            self._claim(name, "histogram")
+            metric = self._histograms[key] = Histogram(name, labels=labels)
         return metric
 
-    @staticmethod
-    def _check_free(name: str, *families: dict) -> None:
-        for family in families:
-            if name in family:
-                raise ValueError(
-                    f"metric {name!r} already registered with another type"
-                )
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def family_type(self, name: str) -> str | None:
+        """Registered type of a family (None when unknown)."""
+        return self._types.get(name)
+
+    def series(self, name: str) -> list:
+        """Every child metric of a family, label sets key-sorted."""
+        store = {
+            "counter": self._counters,
+            "gauge": self._gauges,
+            "histogram": self._histograms,
+        }.get(self._types.get(name, ""), {})
+        return [
+            metric
+            for key, metric in sorted(store.items())
+            if metric.name == name
+        ]
+
+    def families(self) -> dict[str, str]:
+        """Family name -> type for every registered family, name-sorted."""
+        return dict(sorted(self._types.items()))
 
     def snapshot(self) -> dict:
         """Plain-dict view of every metric, JSON-serialisable.
 
         ``name/key`` counters and gauges are additionally folded into
         nested ``per_<name>`` maps, so ``bytes_up/3`` shows up both as a
-        flat counter and under ``per_bytes_up[3]``.
+        flat counter and under ``per_bytes_up[3]``.  Labeled children
+        keep their rendered key in the flat sections and are folded with
+        structured labels into ``families`` (present only when at least
+        one labeled metric exists, so unlabeled snapshots are unchanged).
         """
         counters = {
-            name: metric.value for name, metric in sorted(self._counters.items())
+            key: metric.value for key, metric in sorted(self._counters.items())
         }
         gauges = {
-            name: metric.value for name, metric in sorted(self._gauges.items())
+            key: metric.value for key, metric in sorted(self._gauges.items())
         }
         out: dict = {
             "counters": counters,
             "gauges": gauges,
             "histograms": {
-                name: metric.summary()
-                for name, metric in sorted(self._histograms.items())
+                key: metric.summary()
+                for key, metric in sorted(self._histograms.items())
             },
         }
         for family in (counters, gauges):
             for name, value in family.items():
-                if "/" not in name:
+                if "/" not in name or "{" in name:
                     continue
                 base, key = name.split("/", 1)
                 out.setdefault(f"per_{base}", {})[key] = value
+        families: dict[str, list] = {}
+        for store in (self._counters, self._gauges, self._histograms):
+            for key, metric in sorted(store.items()):
+                if not metric.labels:
+                    continue
+                entry: dict = {"labels": dict(metric.labels)}
+                if isinstance(metric, Histogram):
+                    entry["summary"] = metric.summary()
+                else:
+                    entry["value"] = metric.value
+                families.setdefault(metric.name, []).append(entry)
+        if families:
+            out["families"] = families
         return out

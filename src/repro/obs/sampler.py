@@ -127,6 +127,7 @@ class FlightRecorder:
         self,
         interval: float = DEFAULT_INTERVAL,
         capacity: int = DEFAULT_CAPACITY,
+        tsdb=None,
     ):
         if interval <= 0:
             raise SimulationError("sampling interval must be positive")
@@ -139,6 +140,13 @@ class FlightRecorder:
         self.sim = None
         self._next_tick = math.inf
         self._cap: float | None = None
+        #: Optional :class:`~repro.obs.timeseries.TimeSeriesDB` every
+        #: sample is mirrored into as labeled series.
+        self.tsdb = tsdb
+        #: ``fn(t)`` callbacks invoked once per sample tick — the
+        #: deterministic evaluation grid for live consumers (SLO
+        #: monitor, dashboard refresh).
+        self._listeners: list = []
 
     # ------------------------------------------------------------------
     # Simulator protocol
@@ -156,6 +164,15 @@ class FlightRecorder:
     def note_governor_cap(self, cap: float | None) -> None:
         """Record the governor's current per-repair-flow rate cap."""
         self._cap = cap
+
+    def attach_tsdb(self, tsdb) -> FlightRecorder:
+        """Mirror every future sample into ``tsdb`` as labeled series."""
+        self.tsdb = tsdb
+        return self
+
+    def add_listener(self, listener) -> None:
+        """Invoke ``listener(t)`` once per sample tick, in order."""
+        self._listeners.append(listener)
 
     def on_window(self, start: float, end: float, entities) -> None:
         """Sample every tick inside the advance window ``[start, end]``.
@@ -203,19 +220,43 @@ class FlightRecorder:
         while self._next_tick <= end + _EPS:
             if len(self.samples) == self.capacity:
                 self.dropped += 1
-            self.samples.append(
-                Sample(
-                    t=self._next_tick,
-                    up=dict(up),
-                    down=dict(down),
-                    up_util=dict(up_util),
-                    down_util=dict(down_util),
-                    rate_by_kind=dict(rate_by_kind),
-                    active_by_kind=dict(active_by_kind),
-                    repair_cap=self._cap,
-                )
+            sample = Sample(
+                t=self._next_tick,
+                up=dict(up),
+                down=dict(down),
+                up_util=dict(up_util),
+                down_util=dict(down_util),
+                rate_by_kind=dict(rate_by_kind),
+                active_by_kind=dict(active_by_kind),
+                repair_cap=self._cap,
             )
+            self.samples.append(sample)
+            if self.tsdb is not None:
+                self._feed_tsdb(sample)
+            for listener in self._listeners:
+                listener(sample.t)
             self._next_tick += self.interval
+
+    def _feed_tsdb(self, sample: Sample) -> None:
+        """Mirror one sample into the attached TSDB as labeled series."""
+        tsdb = self.tsdb
+        t = sample.t
+        for direction, series in (
+            ("up", sample.up_util), ("down", sample.down_util)
+        ):
+            for node, value in series.items():
+                tsdb.record(
+                    "link_utilization", t, value,
+                    node=node, direction=direction,
+                )
+        for kind, rate in sample.rate_by_kind.items():
+            tsdb.record("class_rate", t, rate, kind=kind)
+        for kind, count in sample.active_by_kind.items():
+            tsdb.record("active_tasks", t, count, kind=kind)
+        tsdb.record(
+            "repair_cap", t,
+            -1.0 if sample.repair_cap is None else sample.repair_cap,
+        )
 
     # ------------------------------------------------------------------
     # Introspection and export

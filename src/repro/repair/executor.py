@@ -311,6 +311,7 @@ def _drive_attempt_hedged(
             return
         remaining = sim.cancel_task(hedge.handle)
         registry.counter("hedges_cancelled").inc()
+        registry.counter("hedge_events", kind="cancel").inc()
         if tracer.enabled:
             tracer.instant(
                 "hedge.cancel", t=sim.now, track="executor",
@@ -348,6 +349,7 @@ def _drive_attempt_hedged(
             kind="hedge",
         )
         registry.counter("hedges_launched").inc()
+        registry.counter("hedge_events", kind="launch").inc()
         if tracer.enabled:
             tracer.instant(
                 "hedge.launch", t=sim.now, track="executor",
@@ -376,6 +378,7 @@ def _drive_attempt_hedged(
             sim.cancel_task(handle)
             registry.counter("flows_cancelled").inc()
             registry.counter("hedges_adopted").inc()
+            registry.counter("hedge_events", kind="adopt").inc()
             if tracer.enabled:
                 tracer.instant(
                     "hedge.adopt", t=sim.now, track="executor",

@@ -286,6 +286,22 @@ def _apply_governor(
     return cap
 
 
+def _note_progress(sim: FluidSimulator, completed: int, total: int) -> None:
+    """Feed the repair-progress series of an attached telemetry TSDB.
+
+    The ``repair_progress`` gauge (0..1) is what the repair-deadline SLO
+    burns against and what ``repro top`` renders; it only exists when the
+    run carries a flight recorder with a TSDB attached, so the plain
+    paths pay one attribute check.
+    """
+    sampler = sim.sampler
+    if sampler is None or getattr(sampler, "tsdb", None) is None:
+        return
+    fraction = completed / total if total else 1.0
+    sampler.tsdb.record("repair_progress", sim.now, fraction)
+    sampler.tsdb.record("repairs_completed", sim.now, completed)
+
+
 def _event_bound(
     driver: _FaultDriver, in_flight: dict[int, _InFlight],
     sim: FluidSimulator, governor,
@@ -582,6 +598,8 @@ def repair_full_node(
             on_repaired=on_repaired, journal=journal, sim=sim,
         )
 
+    total_stripes = len(stripes)
+    _note_progress(sim, 0, total_stripes)
     with planner.traced(tracer):
         while pending or in_flight:
             driver.tick(in_flight, pending, collect)
@@ -626,6 +644,7 @@ def repair_full_node(
                 sim, foreground, _event_bound(driver, in_flight, sim, governor)
             )
             collect(finished)
+            _note_progress(sim, len(results), total_stripes)
     return FullNodeResult(
         scheme=planner.name,
         failed_node=failed_node,
@@ -687,6 +706,8 @@ def repair_full_node_adaptive(
             on_repaired=on_repaired, journal=journal, sim=sim,
         )
 
+    total_stripes = len(stripes)
+    _note_progress(sim, 0, total_stripes)
     with planner.traced(tracer):
         while pending or in_flight:
             driver.tick(in_flight, pending, collect)
@@ -705,6 +726,7 @@ def repair_full_node_adaptive(
                 sim, foreground, _event_bound(driver, in_flight, sim, governor)
             )
             collect(finished)
+            _note_progress(sim, len(results), total_stripes)
     return FullNodeResult(
         scheme=f"{planner.name}+strategy",
         failed_node=failed_node,

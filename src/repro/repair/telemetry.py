@@ -25,6 +25,7 @@ EVENT_PREFIXES = (
     "journal",
     "health",
     "hedge",
+    "slo",
 )
 
 

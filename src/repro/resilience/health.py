@@ -101,6 +101,22 @@ class HealthMonitor:
         self._bad_checks = 0
         self._since: float | None = None
         self._verdict_given = False
+        self._slo_pressure = False
+
+    def on_slo_alert(self, alert) -> None:
+        """SLO-monitor hook: hedge eagerly while an SLO is firing.
+
+        Subscribe with ``monitor.subscribe(health_monitor.on_slo_alert)``.
+        Under burn-rate pressure every simulated second of a straggling
+        repair spends client error budget, so the grace period collapses
+        to a single bad check; the resolve transition restores it.
+        """
+        self._slo_pressure = getattr(alert, "firing", False)
+
+    @property
+    def effective_grace(self) -> int:
+        """Bad checks tolerated before a verdict (1 under SLO pressure)."""
+        return 1 if self._slo_pressure else self.policy.grace_checks
 
     def observe(self, network) -> StragglerVerdict | None:
         """Run a progress check if a check boundary has been reached."""
@@ -127,7 +143,7 @@ class HealthMonitor:
         if self._bad_checks == 0:
             self._since = window_start
         self._bad_checks += 1
-        if self._bad_checks < self.policy.grace_checks:
+        if self._bad_checks < self.effective_grace:
             return None
         self._verdict_given = True
         return StragglerVerdict(

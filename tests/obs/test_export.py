@@ -179,3 +179,65 @@ class TestWriteTrace:
     def test_unknown_format_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             write_trace([], tmp_path / "t", fmt="xml")
+
+class TestLabeledCounterSeries:
+    def make_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("hedge_events", kind="cancel").inc(2)
+        registry.counter("hedge_events", kind="launch").inc(3)
+        registry.counter("hedges_cancelled").inc(2)  # unlabeled: excluded
+        registry.gauge("cap", node=1).set(5.0)  # gauge family: excluded
+        return registry
+
+    def test_labeled_counter_families_become_counter_events(self):
+        trace = to_chrome_trace(
+            sample_tracer().events, registry=self.make_registry()
+        )
+        [event] = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "C" and e["name"] == "hedge_events"
+        ]
+        assert event["args"] == {
+            '{kind="cancel"}': 2.0, '{kind="launch"}': 3.0,
+        }
+        # Stamped at the last event timestamp (2.0s -> microseconds).
+        assert event["ts"] == pytest.approx(2.0e6)
+        names = [e.get("name") for e in trace["traceEvents"]]
+        assert "hedges_cancelled" not in names
+        assert "cap" not in names
+
+    def test_empty_events_and_samples_still_valid(self):
+        # Regression: no events, no samples, no governor cap anywhere.
+        trace = to_chrome_trace([], samples=[], registry=None)
+        json.dumps(trace)
+        assert trace["traceEvents"] == []
+        trace = to_chrome_trace(
+            [], samples=[Sample(t=1.0)], registry=self.make_registry()
+        )
+        json.dumps(trace)
+        kinds = {e["ph"] for e in trace["traceEvents"]}
+        assert kinds <= {"C", "M"}
+
+    def test_absent_governor_emits_no_cap_counter(self):
+        trace = to_chrome_trace([], samples=[Sample(t=1.0)])
+        names = [e.get("name") for e in trace["traceEvents"]]
+        assert "repair cap (bytes/s)" not in names
+        capped = Sample(t=2.0, repair_cap=1e6)
+        trace = to_chrome_trace([], samples=[capped])
+        [event] = [
+            e for e in trace["traceEvents"]
+            if e.get("name") == "repair cap (bytes/s)"
+        ]
+        assert event["args"] == {"cap": 1e6}
+
+    def test_write_trace_passes_registry_through(self, tmp_path):
+        path = write_trace(
+            sample_tracer().events, tmp_path / "t.json", fmt="chrome",
+            registry=self.make_registry(),
+        )
+        payload = json.loads(path.read_text())
+        assert any(
+            e.get("name") == "hedge_events" for e in payload["traceEvents"]
+        )

@@ -181,3 +181,63 @@ class TestHistogramReservoir:
         # Same name => same crc32 seed => identical reservoir contents,
         # so two seeded runs snapshot identical percentiles.
         assert first == second
+
+class TestLabeledFamilies:
+    def test_unlabeled_snapshot_schema_unchanged(self):
+        registry = MetricsRegistry()
+        registry.counter("flows").inc()
+        snapshot = registry.snapshot()
+        assert "families" not in snapshot
+        assert snapshot["counters"] == {"flows": 1.0}
+
+    def test_label_sets_are_distinct_children(self):
+        registry = MetricsRegistry()
+        registry.counter("repair_bytes", node=7, kind="hedge").inc(10)
+        registry.counter("repair_bytes", node=7, kind="primary").inc(5)
+        registry.counter("repair_bytes").inc(1)
+        children = registry.series("repair_bytes")
+        assert [child.labels for child in children] == [
+            {}, {"kind": "hedge", "node": "7"},
+            {"kind": "primary", "node": "7"},
+        ]
+        assert registry.family_type("repair_bytes") == "counter"
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        registry.counter("x", a="1", b="2").inc()
+        registry.counter("x", b="2", a="1").inc()
+        assert registry.counter("x", a="1", b="2").value == 2
+
+    def test_family_type_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x", node=1)
+
+    def test_snapshot_flat_keys_and_families_section(self):
+        registry = MetricsRegistry()
+        registry.counter("hedge_events", kind="cancel").inc(2)
+        registry.gauge("cap", node=3).set(1.5)
+        registry.histogram("lat", tenant="t0").observe(0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]['hedge_events{kind="cancel"}'] == 2.0
+        assert snapshot["gauges"]['cap{node="3"}'] == 1.5
+        assert snapshot["histograms"]['lat{tenant="t0"}']["count"] == 1
+        families = snapshot["families"]
+        assert families["hedge_events"] == [
+            {"labels": {"kind": "cancel"}, "value": 2.0}
+        ]
+        assert families["lat"][0]["summary"]["count"] == 1
+
+    def test_labeled_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.counter("x", tenant="a").inc()
+        json.dumps(registry.snapshot())
+
+    def test_per_node_folding_skips_labeled_keys(self):
+        registry = MetricsRegistry()
+        registry.counter("bytes_up/3", kind="hedge").inc(7)
+        snapshot = registry.snapshot()
+        # The rendered key contains a slash but is not a name/key metric,
+        # so it must not be folded into a per_* map.
+        assert "per_bytes_up" not in snapshot

@@ -7,7 +7,7 @@ from repro.core import PivotRepairPlanner
 from repro.ec import RSCode, place_stripes
 from repro.exceptions import SimulationError
 from repro.network.topology import StarNetwork
-from repro.obs import FlightRecorder, samples_from_jsonl
+from repro.obs import FlightRecorder, Sample, samples_from_jsonl
 from repro.repair import repair_full_node, repair_single_chunk
 from repro.repair.pipeline import ExecutionConfig
 
@@ -117,3 +117,89 @@ class TestExport:
     def test_empty_recorder_serialises_to_empty_stream(self):
         assert FlightRecorder().to_jsonl() == ""
         assert samples_from_jsonl("") == []
+
+
+class TestSampleRoundTrip:
+    def test_to_dict_from_dict_round_trip(self):
+        sample = Sample(
+            t=1.5,
+            up={3: 400.0, 1: 100.0},
+            down={2: 250.0},
+            up_util={3: 0.8, 1: 0.2},
+            down_util={2: 0.5},
+            rate_by_kind={"repair": 500.0, "foreground": 250.0},
+            active_by_kind={"repair": 2, "foreground": 1},
+            repair_cap=1e6,
+        )
+        assert Sample.from_dict(sample.to_dict()) == sample
+
+    def test_uncapped_sample_omits_repair_cap(self):
+        sample = Sample(t=0.0)
+        payload = sample.to_dict()
+        assert payload == {"t": 0.0}
+        back = Sample.from_dict(payload)
+        assert back.repair_cap is None
+        assert back == sample
+
+    def test_to_dict_keys_are_sorted_strings(self):
+        sample = Sample(t=0.0, up={9: 1.0, 2: 2.0})
+        assert list(sample.to_dict()["up"]) == ["2", "9"]
+
+
+class TestPeakUtilizationEdges:
+    def test_empty_recorder_has_no_peaks(self):
+        assert FlightRecorder().peak_utilization() == {}
+
+    def test_single_window_run(self):
+        # Interval longer than the transfer: at most a couple of ticks,
+        # but the peak map still reflects the lone busy window.
+        sampler = FlightRecorder(interval=1000.0)
+        sampled_single_chunk(sampler)
+        peaks = sampler.peak_utilization()
+        assert peaks
+        assert all(0 < value <= 1.0 + 1e-9 for value in peaks.values())
+
+    def test_ring_overflow_keeps_peaks_of_surviving_samples(self):
+        tight = FlightRecorder(interval=0.01, capacity=4)
+        sampled_single_chunk(tight)
+        assert tight.dropped > 0
+        peaks = tight.peak_utilization()
+        # Peaks are computed over what the ring still holds (the newest
+        # samples), never over evicted history.
+        survivors = set()
+        for sample in tight.samples:
+            survivors.update(("up", node) for node in sample.up_util)
+            survivors.update(("down", node) for node in sample.down_util)
+        assert set(peaks) == survivors
+
+
+class TestTsdbFeed:
+    def test_samples_mirror_into_labeled_series(self):
+        from repro.obs import TimeSeriesDB
+
+        tsdb = TimeSeriesDB()
+        sampler = FlightRecorder(interval=0.5, tsdb=tsdb)
+        sampled_single_chunk(sampler)
+        names = tsdb.names()
+        assert {"link_utilization", "class_rate", "active_tasks",
+                "repair_cap"} <= set(names)
+        [series] = tsdb.series("class_rate", kind="repair")
+        assert all(value > 0 for _, value in series.points)
+        # No governor ran, so the cap gauge records the -1.0 sentinel.
+        assert tsdb.latest("repair_cap") == -1.0
+
+    def test_governor_cap_is_mirrored(self):
+        from repro.obs import TimeSeriesDB
+
+        tsdb = TimeSeriesDB()
+        sampler = FlightRecorder(interval=0.5, tsdb=tsdb)
+        sampler.note_governor_cap(123.0)
+        sampled_single_chunk(sampler)
+        assert tsdb.latest("repair_cap") == 123.0
+
+    def test_listeners_fire_once_per_tick_in_order(self):
+        sampler = FlightRecorder(interval=0.5)
+        seen = []
+        sampler.add_listener(seen.append)
+        sampled_single_chunk(sampler)
+        assert seen == [sample.t for sample in sampler.samples]

@@ -507,3 +507,72 @@ class TestExplainCommands:
             e for e in payload["traceEvents"] if e["ph"] == "C"
         ]
         assert counters, "flight-recorder samples must export as counters"
+
+
+class TestTopCommand:
+    FAST = [
+        "--n", "6", "--k", "4", "--stripes", "4", "--chunk-mib", "4",
+        "--seed", "3", "--foreground-rate", "40", "--tenants", "2",
+    ]
+
+    def test_top_once_renders_final_frame(self, trace_file, capsys):
+        code = main(["top", str(trace_file), *self.FAST, "--once"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "link utilization" in out
+        assert "governor  cap" in out
+        assert "SLO burn" in out
+        assert "tenant-0" in out and "tenant-1" in out
+
+    def test_top_json_payload_and_artifacts(self, trace_file, tmp_path,
+                                            capsys):
+        prom = tmp_path / "metrics.prom"
+        tsdb_out = tmp_path / "tsdb.jsonl"
+        code = main(
+            ["--json", "top", str(trace_file), *self.FAST, "--once",
+             "--prom-out", str(prom), "--tsdb-out", str(tsdb_out)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tsdb"]["series"] > 0
+        assert [spec["name"] for spec in payload["slo"]["specs"]] == [
+            "latency-tenant-0", "latency-tenant-1",
+        ]
+        assert "rendered" not in payload  # JSON mode strips the frame
+
+        from repro.obs import TimeSeriesDB, prometheus_lint
+
+        assert prometheus_lint(prom.read_text()) == []
+        restored = TimeSeriesDB.from_jsonl(tsdb_out.read_text())
+        assert len(restored) == payload["tsdb"]["series"]
+
+    def test_top_live_emits_ansi_frames(self, trace_file, capsys):
+        code = main(["top", str(trace_file), *self.FAST, "--refresh", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("\x1b[H\x1b[J") > 1
+        assert "repro top" in out
+
+    def test_top_tight_slo_fires(self, trace_file, capsys):
+        code = main(
+            ["--json", "top", str(trace_file), *self.FAST, "--once",
+             "--slo-ms", "1", "--slo-budget", "0.01"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["slo"]["firing"]
+        fires = [a for a in payload["slo"]["alerts"] if a["kind"] == "fire"]
+        assert fires and fires[0]["t"] > 0
+
+    def test_top_rejects_saved_jsonl_target(self, trace_file, tmp_path,
+                                            capsys):
+        saved = tmp_path / "run.jsonl"
+        code = main(
+            ["--trace", str(saved), "fullnode", str(trace_file),
+             "--n", "6", "--k", "4", "--stripes", "4", "--chunk-mib", "4"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert main(["top", str(saved), "--once"]) != 0
+        assert "pass an .npz workload trace" in capsys.readouterr().err
