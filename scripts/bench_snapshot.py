@@ -214,6 +214,60 @@ SUITES = {
     "foreground_interference": suite_foreground_interference,
 }
 
+#: Hard floor for the fast engine's advantage on the 1024-node storm.
+ENGINE_SPEEDUP_FLOOR = 10.0
+
+
+def engine_scale_section(repeats: int) -> dict:
+    """Time the 1024-node repair storm under both allocation engines.
+
+    The scenario is the recompute-bound shape from
+    :func:`repro.network.scenario.storm_scenario`: 200 staggered repair
+    trees and 600 foreground flows over static capacities, so the wall
+    clock measures rate recomputation, not breakpoint churn.  The run
+    fails outright if the engines' digests differ or the speedup drops
+    below :data:`ENGINE_SPEEDUP_FLOOR` — this is the scale acceptance
+    gate, not a soft metric.
+    """
+    from repro.network.scenario import replay, storm_scenario
+
+    scenario = storm_scenario(1)
+    fast_digest, fast_wall = _timed(
+        lambda: replay(scenario, "fast"), max(repeats, 3)
+    )
+    reference_digest, reference_wall = _timed(
+        lambda: replay(scenario, "reference"), repeats
+    )
+    if fast_digest != reference_digest:
+        raise SystemExit(
+            "engine scale suite: fast and reference digests differ — "
+            "the engines must be bit-identical"
+        )
+    speedup = reference_wall / fast_wall
+    if speedup < ENGINE_SPEEDUP_FLOOR:
+        raise SystemExit(
+            f"engine scale suite: speedup {speedup:.1f}x below the "
+            f"{ENGINE_SPEEDUP_FLOOR:.0f}x floor (fast {fast_wall:.3f}s, "
+            f"reference {reference_wall:.3f}s)"
+        )
+    return {
+        "node_count": scenario.node_count,
+        "repairs": 200,
+        "foreground_flows": 600,
+        "sim": {
+            "steps": fast_digest["steps"],
+            "tasks_completed": fast_digest["tasks_completed"],
+            "bytes_transferred": round(
+                fast_digest["bytes_transferred"], 6
+            ),
+            "end_time": round(fast_digest["end_time"], 9),
+        },
+        "fast_wall_seconds": round(fast_wall, 6),
+        "reference_wall_seconds": round(reference_wall, 6),
+        "speedup": round(speedup, 2),
+        "speedup_floor": ENGINE_SPEEDUP_FLOOR,
+    }
+
 
 # ----------------------------------------------------------------------
 # Measurement
@@ -310,6 +364,16 @@ def collect(repeats: int) -> dict:
             "wall_seconds": round(wall, 6),
         }
         print(f"{name}: wall {wall:.3f}s")
+    # Allocation-engine scale gate: the 1024-node storm, both engines.
+    snapshot["engine_scale"] = engine_scale_section(repeats)
+    print(
+        "engine_scale: fast "
+        f"{snapshot['engine_scale']['fast_wall_seconds']:.3f}s vs "
+        f"reference "
+        f"{snapshot['engine_scale']['reference_wall_seconds']:.3f}s "
+        f"= {snapshot['engine_scale']['speedup']:.1f}x (floor "
+        f"{ENGINE_SPEEDUP_FLOOR:.0f}x), digests identical"
+    )
     # Observation overheads, each measured as interleaved plain vs
     # instrumented runs of the same suite (see ``_overhead``).
     reference = snapshot["suites"]["foreground_interference"]["sim"]
@@ -447,6 +511,29 @@ def compare(current: dict, previous: dict, tolerance: float) -> list[str]:
                 f"{name}: wall {suite['wall_seconds']:.3f}s within "
                 f"budget {budget:.3f}s"
             )
+    # Engine scale suite: simulated metrics are bit-stable for a seed,
+    # so any drift is a behaviour change.  Wall times and the speedup
+    # are machine-dependent; the ≥10x floor is enforced at collect time
+    # on every run, so they are recorded here but not re-gated.
+    scale_before = previous.get("engine_scale")
+    scale_now = current.get("engine_scale")
+    if scale_before is not None and scale_now is not None:
+        old_flat = _flatten_sim(scale_before.get("sim", {}))
+        for key, value in _flatten_sim(scale_now["sim"]).items():
+            old = old_flat.get(key)
+            if old is None:
+                continue
+            if isinstance(value, float) or isinstance(old, float):
+                drifted = abs(value - old) > SIM_RTOL * max(
+                    abs(value), abs(old), 1e-12
+                )
+            else:
+                drifted = value != old
+            if drifted:
+                failures.append(
+                    f"engine_scale: simulated metric {key} changed "
+                    f"{old!r} -> {value!r} (behaviour drift, not noise)"
+                )
     # Overhead gates: 5% relative with the same 50ms absolute slack as
     # the suite wall gate, so fixed per-run costs (a journal fsync) on a
     # millisecond-scale suite do not read as huge relative overheads.

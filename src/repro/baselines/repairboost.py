@@ -130,7 +130,7 @@ def repair_full_node_balanced(
     if not affected:
         raise PlanningError(f"node {failed_node} stores no chunk to repair")
     assignment = balance_assignments(affected, failed_node, len(network))
-    sim = FluidSimulator(network, start_time=start_time)
+    sim = FluidSimulator(network, start_time=start_time, engine=config.engine)
     pending = list(affected)
     in_flight: dict[int, Stripe] = {}
     results: list[RepairResult] = []

@@ -133,6 +133,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeline", action="store_true",
         help="print an ASCII timeline of the traced run",
     )
+    parser.add_argument(
+        "--engine", choices=("reference", "fast"), default=None,
+        help="fluid-simulator allocation engine (default: fast); the two "
+        "are bit-identical, 'reference' is the differential oracle",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     trace = commands.add_parser("trace", help="workload traces")
@@ -509,7 +514,8 @@ def _cmd_repair(args, tracer=NULL_TRACER) -> dict:
         trace, instant, args.n, args.seed
     )
     config = ExecutionConfig(
-        chunk_size=mib(args.chunk_mib), slice_size=kib(args.slice_kib)
+        chunk_size=mib(args.chunk_mib), slice_size=kib(args.slice_kib),
+        engine=args.engine,
     )
     faults, policy = _parse_faults(args)
     results = {}
@@ -570,7 +576,9 @@ def _cmd_fullnode(args, tracer=NULL_TRACER) -> dict:
         args.stripes, code, trace.node_count, rng
     )
     failed = stripes[0].placement[0]
-    config = ExecutionConfig(chunk_size=mib(args.chunk_mib))
+    config = ExecutionConfig(
+        chunk_size=mib(args.chunk_mib), engine=args.engine
+    )
     faults, policy = _parse_faults(args)
     journal = None
     if args.journal is not None:
@@ -672,7 +680,9 @@ def _cmd_resume(args, tracer=NULL_TRACER) -> dict:
         payload["status"] = "nothing to resume"
         journal.close()
         return payload
-    config = ExecutionConfig(chunk_size=mib(float(run["chunk_mib"])))
+    config = ExecutionConfig(
+        chunk_size=mib(float(run["chunk_mib"])), engine=args.engine
+    )
     faults, policy = _parse_faults(args)
     try:
         result = repair_full_node(
@@ -707,7 +717,9 @@ def _cmd_load(args, tracer=NULL_TRACER) -> dict:
     rng = np.random.default_rng(args.seed)
     stripes = place_stripes(args.stripes, code, trace.node_count, rng)
     failed = stripes[0].placement[0]
-    config = ExecutionConfig(chunk_size=mib(args.chunk_mib))
+    config = ExecutionConfig(
+        chunk_size=mib(args.chunk_mib), engine=args.engine
+    )
     faults, policy = _parse_faults(args)
     duration = (
         float(trace.sample_count)
@@ -913,7 +925,9 @@ def _explain_run(args, tracer) -> tuple:
     rng = np.random.default_rng(args.seed)
     stripes = place_stripes(args.stripes, code, trace.node_count, rng)
     failed = stripes[0].placement[0]
-    config = ExecutionConfig(chunk_size=mib(args.chunk_mib))
+    config = ExecutionConfig(
+        chunk_size=mib(args.chunk_mib), engine=args.engine
+    )
     faults, policy = _parse_faults(args)
     sampler = FlightRecorder(
         interval=args.sample_interval, capacity=args.sample_capacity
@@ -1038,7 +1052,9 @@ def _cmd_top(args, tracer=NULL_TRACER) -> dict:
     rng = np.random.default_rng(args.seed)
     stripes = place_stripes(args.stripes, code, trace.node_count, rng)
     failed = stripes[0].placement[0]
-    config = ExecutionConfig(chunk_size=mib(args.chunk_mib))
+    config = ExecutionConfig(
+        chunk_size=mib(args.chunk_mib), engine=args.engine
+    )
     faults, policy = _parse_faults(args)
     tsdb = TimeSeriesDB(capacity=args.sample_capacity)
     sampler = FlightRecorder(

@@ -1,18 +1,34 @@
 """Network substrate: bandwidth traces, star topology, fluid simulation."""
 
-from repro.network.bandwidth import BandwidthTrace, NodeBandwidth
+from repro.network.bandwidth import (
+    BandwidthTrace,
+    NodeBandwidth,
+    merge_breakpoints,
+)
+from repro.network.engine import (
+    IncrementalEngine,
+    vectorized_max_min_allocate,
+    waterfill,
+)
 from repro.network.fairness import (
     allocate_edge_tasks,
     max_min_allocate,
     usage_from_edges,
 )
 from repro.network.hierarchical import RackNetwork
-from repro.network.simulator import FluidSimulator, SimulatorStats, TaskHandle
+from repro.network.simulator import (
+    DEFAULT_ENGINE,
+    FluidSimulator,
+    SimulatorStats,
+    TaskHandle,
+)
 from repro.network.topology import StarNetwork
 
 __all__ = [
     "BandwidthTrace",
+    "DEFAULT_ENGINE",
     "FluidSimulator",
+    "IncrementalEngine",
     "NodeBandwidth",
     "RackNetwork",
     "SimulatorStats",
@@ -20,5 +36,8 @@ __all__ = [
     "TaskHandle",
     "allocate_edge_tasks",
     "max_min_allocate",
+    "merge_breakpoints",
     "usage_from_edges",
+    "vectorized_max_min_allocate",
+    "waterfill",
 ]

@@ -161,3 +161,27 @@ class NodeBandwidth:
             self.uplink.next_change_after(t),
             self.downlink.next_change_after(t),
         )
+
+    @property
+    def breakpoints(self) -> list[float]:
+        """Sorted union of uplink and downlink breakpoints.
+
+        Topologies merge these once into a single sorted array so the
+        event loop's ``next_change_after`` is one binary search instead
+        of a scan over every node (see :func:`merge_breakpoints`).
+        """
+        return sorted({*self.uplink.breakpoints, *self.downlink.breakpoints})
+
+
+def merge_breakpoints(links: Sequence[NodeBandwidth]) -> list[float]:
+    """Sorted union of every link's breakpoints, deduplicated.
+
+    ``min(link.next_change_after(t) for link in links)`` equals the first
+    merged breakpoint strictly after ``t`` — the identity the topologies'
+    cached ``next_change_after`` relies on.
+    """
+    merged: set[float] = set()
+    for link in links:
+        merged.update(link.uplink.breakpoints)
+        merged.update(link.downlink.breakpoints)
+    return sorted(merged)

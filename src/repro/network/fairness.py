@@ -7,9 +7,23 @@ so a task's footprint on a resource is *the number of its edges touching that
 resource* (a non-leaf node with two children draws twice its rate from its
 downlink — cf. Figure 1(d), where the relaying receiver halves each link).
 
-Allocation uses classic progressive filling: all tasks' rates rise together
-until some resource saturates, the tasks crossing it freeze, and filling
-continues with the rest.  The result is the unique max-min fair allocation.
+Allocation uses progressive filling in its **water-level** form: every
+active task's rate equals a common level that rises round by round; each
+round the level jumps straight to the smallest saturation level among the
+remaining resources (or the smallest rate cap), the tasks crossing that
+bottleneck freeze at the level, and filling continues with the rest.  The
+result is the unique max-min fair allocation.
+
+The arithmetic is deliberately **component-decomposable**: a resource's
+saturation level ``(capacity - frozen_used) / active_coeff`` only ever
+reads state accumulated from that resource's own users, and the frozen-use
+accumulator advances by one fused ``used += coeff_sum * level`` update per
+freeze round.  Allocating a connected component of the task/resource
+constraint graph in isolation therefore reproduces, bit for bit, what a
+global allocation assigns to it — the invariant the incremental fast
+engine (:mod:`repro.network.engine`) is built on, and what the
+differential harness (``tests/network/test_engine_differential.py``)
+asserts at float tolerance zero.
 """
 
 from __future__ import annotations
@@ -20,9 +34,6 @@ from collections.abc import Hashable, Mapping, Sequence
 from repro.exceptions import SimulationError
 
 Resource = Hashable
-
-#: Tolerance for saturation comparisons (bytes/second).
-_EPSILON = 1e-9
 
 
 def usage_from_edges(
@@ -82,62 +93,83 @@ def max_min_allocate(
         if any(c > 0 for c in usage.values())
         and (rate_caps[i] is None or rate_caps[i] > 0)
     }
-    # Map each resource to the tasks using it, once, up front.
-    users: dict[Resource, list[int]] = {}
-    for i, usage in enumerate(usages):
-        for resource, coeff in usage.items():
+    # Map each resource to its active users, once, up front.  Inactive
+    # tasks stay at rate 0 and contribute nothing to any resource.
+    users: dict[Resource, list[tuple[int, float]]] = {}
+    for i in sorted(active):
+        for resource, coeff in usages[i].items():
             if coeff > 0:
-                users.setdefault(resource, []).append(i)
+                users.setdefault(resource, []).append((i, coeff))
+    # Per-resource accumulators.  ``active_coeff`` is the total usage of
+    # still-rising tasks; ``frozen_used`` the capacity consumed by frozen
+    # ones.  Both advance by order-independent sums (the coefficients are
+    # edge counts) so the result does not depend on task enumeration
+    # order — one half of the component-decomposability contract.
+    frozen_used: dict[Resource, float] = {}
+    active_coeff: dict[Resource, float] = {}
+    for resource, members in users.items():
+        total = 0.0
+        for _, coeff in members:
+            total += coeff
+        active_coeff[resource] = total
+        frozen_used[resource] = 0.0
 
     while active:
-        # Remaining slack per resource given current (frozen) rates.
-        best_increment = math.inf
-        saturated: list[Resource] = []
-        for resource, tasks in users.items():
-            active_coeff = sum(
-                usages[i][resource] for i in tasks if i in active
-            )
-            if active_coeff <= 0:
+        # The water level each remaining resource saturates at, given what
+        # the frozen tasks already consume.
+        level = math.inf
+        levels: dict[Resource, float] = {}
+        for resource, coeff in active_coeff.items():
+            if coeff <= 0:
                 continue
-            capacity = capacities.get(resource, 0.0)
-            used = sum(usages[i][resource] * rates[i] for i in tasks)
-            slack = max(capacity - used, 0.0)
-            increment = slack / active_coeff
-            if increment < best_increment - _EPSILON:
-                best_increment = increment
-                saturated = [resource]
-            elif increment <= best_increment + _EPSILON:
-                saturated.append(resource)
-        # A task's own rate cap limits the uniform increment as well.  A
-        # strictly smaller cap headroom means the resources collected above
-        # will NOT saturate this round — only the capped task freezes.
-        capped_now: set[int] = set()
+            value = (
+                capacities.get(resource, 0.0) - frozen_used[resource]
+            ) / coeff
+            levels[resource] = value
+            if value < level:
+                level = value
+        # A task's own rate cap is a saturation level of its own.
         for i in active:
             cap = rate_caps[i]
-            if cap is None:
-                continue
-            headroom = cap - rates[i]
-            if headroom < best_increment - _EPSILON:
-                best_increment = headroom
-                saturated = []
-                capped_now = {i}
-            elif headroom <= best_increment + _EPSILON:
-                capped_now.add(i)
-        if not math.isfinite(best_increment):
+            if cap is not None and cap < level:
+                level = cap
+        if not math.isfinite(level):
             # No active resource constrains the remaining tasks; they are
             # unconstrained, which cannot happen with well-formed edges.
             raise SimulationError("unconstrained task in max-min allocation")
+        # Freeze everything that saturates exactly at this level: tasks
+        # whose cap is the level, and every active user of a resource
+        # whose saturation level is the level.  Exact float comparison is
+        # deliberate — the fast engine computes the same levels with the
+        # same operations, so the grouping matches bit for bit.
+        newly: set[int] = set()
         for i in active:
-            rates[i] += best_increment
-        newly_frozen = {
-            i
-            for resource in saturated
-            for i in users.get(resource, [])
-            if i in active and usages[i].get(resource, 0.0) > 0
-        } | capped_now
-        if not newly_frozen:
+            cap = rate_caps[i]
+            if cap is not None and cap == level:
+                newly.add(i)
+        saturated = [r for r, value in levels.items() if value == level]
+        for resource in saturated:
+            for i, _ in users[resource]:
+                if i in active:
+                    newly.add(i)
+        if not newly:
             raise SimulationError("progressive filling failed to converge")
-        active -= newly_frozen
+        # Clamp pathological (float-noise) negative levels to zero; the
+        # frozen-use update uses the clamped value so accounting matches
+        # the assigned rates.
+        assigned = level if level > 0.0 else 0.0
+        freeze_sum: dict[Resource, float] = {}
+        for i in sorted(newly):
+            rates[i] = assigned
+            for resource, coeff in usages[i].items():
+                if coeff > 0:
+                    freeze_sum[resource] = (
+                        freeze_sum.get(resource, 0.0) + coeff
+                    )
+        for resource, coeff in freeze_sum.items():
+            frozen_used[resource] += coeff * assigned
+            active_coeff[resource] -= coeff
+        active -= newly
     return rates
 
 

@@ -16,10 +16,16 @@ their capacity is less than the sum of their nodes' edge capacities.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from collections.abc import Sequence
 
 from repro.exceptions import SimulationError
-from repro.network.bandwidth import BandwidthTrace, NodeBandwidth
+from repro.network.bandwidth import (
+    BandwidthTrace,
+    NodeBandwidth,
+    merge_breakpoints,
+)
 
 
 class RackNetwork:
@@ -46,6 +52,11 @@ class RackNetwork:
         self._racks = list(node_racks)
         self._nodes = list(node_bandwidths)
         self._rack_links = list(rack_bandwidths)
+        # Traces are immutable; merge all node + rack breakpoints once so
+        # ``next_change_after`` is a single bisect per event.
+        self._breakpoints = merge_breakpoints(
+            self._nodes + self._rack_links
+        )
 
     @classmethod
     def uniform(
@@ -148,10 +159,10 @@ class RackNetwork:
         return usage
 
     def next_change_after(self, t: float) -> float:
-        return min(
-            min(node.next_change_after(t) for node in self._nodes),
-            min(link.next_change_after(t) for link in self._rack_links),
-        )
+        index = bisect_right(self._breakpoints, t)
+        if index >= len(self._breakpoints):
+            return math.inf
+        return self._breakpoints[index]
 
     def _check(self, node: int) -> None:
         if not 0 <= node < len(self._nodes):

@@ -32,9 +32,18 @@ from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.exceptions import SimulationError
+from repro.network.engine import IncrementalEngine
 from repro.network.fairness import max_min_allocate
 from repro.network.topology import StarNetwork
 from repro.obs.tracer import NULL_TRACER
+
+#: Engine used when ``FluidSimulator(engine=None)``: ``"fast"`` (vectorized
+#: waterfilling + component-local incremental recompute) or ``"reference"``
+#: (full Python-loop reallocation every event — the differential oracle).
+#: The two are bit-identical on every observable; see docs/fluid_engine.md.
+DEFAULT_ENGINE = "fast"
+
+_ENGINES = ("reference", "fast")
 
 
 @dataclass
@@ -126,10 +135,22 @@ class FluidSimulator:
         start_time: float = 0.0,
         tracer=NULL_TRACER,
         sampler=None,
+        engine: str | None = None,
     ):
         self.network = network
         self.now = float(start_time)
         self.tracer = tracer
+        if engine is None:
+            engine = DEFAULT_ENGINE
+        if engine not in _ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of {_ENGINES}"
+            )
+        #: Allocation engine name ("reference" or "fast").
+        self.engine = engine
+        self._engine = (
+            IncrementalEngine(network) if engine == "fast" else None
+        )
         #: Optional :class:`~repro.obs.sampler.FlightRecorder`.  ``None``
         #: (the default) costs one ``is not None`` guard per event-loop
         #: step and records nothing.
@@ -310,6 +331,8 @@ class FluidSimulator:
             entity_id = next(self._entity_ids)
             self._entities[entity_id] = entity
             self._task_entities[handle.task_id].add(entity_id)
+            if self._engine is not None:
+                self._engine.add_entity(entity_id, entity)
         self._task_totals[handle.task_id] = sum(
             e.total for e in entities
         )
@@ -392,6 +415,9 @@ class FluidSimulator:
             if entity.max_rate != max_rate:
                 entity.max_rate = max_rate
                 changed = True
+                if self._engine is not None:
+                    # Only the re-capped entity's component is perturbed.
+                    self._engine.touch(entity_id)
         if changed:
             self._rates_valid = False
 
@@ -420,6 +446,8 @@ class FluidSimulator:
         remaining = 0.0
         for entity_id in sorted(entity_ids):
             remaining += self._entities.pop(entity_id).remaining
+            if self._engine is not None:
+                self._engine.remove_entity(entity_id)
         entity_ids.clear()
         handle.cancelled = True
         self.stats.tasks_cancelled += 1
@@ -552,6 +580,8 @@ class FluidSimulator:
         completed: list[TaskHandle] = []
         for entity_id in finished_entities:
             entity = self._entities.pop(entity_id)
+            if self._engine is not None:
+                self._engine.remove_entity(entity_id)
             members = self._task_entities[entity.task_id]
             members.discard(entity_id)
             if not members:
@@ -579,6 +609,17 @@ class FluidSimulator:
 
     def _ensure_rates(self) -> None:
         if self._rates_valid:
+            return
+        if self._engine is not None:
+            # Incremental path: re-solve only the perturbed components
+            # (if any).  A pure time advance inside a capacity epoch with
+            # nothing dirty recomputes nothing — rates are
+            # piecewise-constant between events.
+            if self._engine.ensure(self.now):
+                self.stats.rate_recomputations += 1
+                if self.tracer.enabled and self._entities:
+                    self._trace_rate_changes()
+            self._rates_valid = True
             return
         entities = list(self._entities.values())
         capacities = self.network.capacities_at(self.now)

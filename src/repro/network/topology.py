@@ -8,9 +8,15 @@ available bandwidth of a directed link ``i -> j`` at time ``t`` is
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from collections.abc import Sequence
 
-from repro.network.bandwidth import BandwidthTrace, NodeBandwidth
+from repro.network.bandwidth import (
+    BandwidthTrace,
+    NodeBandwidth,
+    merge_breakpoints,
+)
 from repro.exceptions import SimulationError
 
 
@@ -21,6 +27,10 @@ class StarNetwork:
         if not nodes:
             raise SimulationError("a network needs at least one node")
         self._nodes = list(nodes)
+        # Merged once: traces are immutable, so the set of breakpoints is
+        # fixed at construction.  Turns the event loop's per-event
+        # ``next_change_after`` from an O(nodes) scan into one bisect.
+        self._breakpoints = merge_breakpoints(self._nodes)
 
     @classmethod
     def constant(
@@ -77,7 +87,10 @@ class StarNetwork:
 
     def next_change_after(self, t: float) -> float:
         """Earliest capacity breakpoint strictly after ``t`` on any node."""
-        return min(node.next_change_after(t) for node in self._nodes)
+        index = bisect_right(self._breakpoints, t)
+        if index >= len(self._breakpoints):
+            return math.inf
+        return self._breakpoints[index]
 
     # ------------------------------------------------------------------
     # Fluid-simulator topology interface

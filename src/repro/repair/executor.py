@@ -77,7 +77,8 @@ def execute_plan(
             "foreground-aware execution supports pipelined plans only"
         )
     sim = FluidSimulator(
-        network, start_time=start_time, tracer=tracer, sampler=sampler
+        network, start_time=start_time, tracer=tracer, sampler=sampler,
+        engine=config.engine,
     )
     if foreground is not None:
         foreground.bind(sim, network)
@@ -515,7 +516,8 @@ def repair_single_chunk_faulted(
     config = config or ExecutionConfig()
     net = FaultyNetwork.wrap(network, faults)
     sim = FluidSimulator(
-        net, start_time=start_time, tracer=tracer, sampler=sampler
+        net, start_time=start_time, tracer=tracer, sampler=sampler,
+        engine=config.engine,
     )
     registry = MetricsRegistry()
     injector = FaultInjector(faults, tracer=tracer, registry=registry)

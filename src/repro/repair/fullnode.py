@@ -577,7 +577,8 @@ def repair_full_node(
         planner.name, failed_node, len(stripes), concurrency,
     )
     sim = FluidSimulator(
-        network, start_time=start_time, tracer=tracer, sampler=sampler
+        network, start_time=start_time, tracer=tracer, sampler=sampler,
+        engine=config.engine,
     )
     registry = MetricsRegistry()
     pending = list(stripes)
@@ -685,7 +686,8 @@ def repair_full_node_adaptive(
         planner.name, failed_node, len(stripes),
     )
     sim = FluidSimulator(
-        network, start_time=start_time, tracer=tracer, sampler=sampler
+        network, start_time=start_time, tracer=tracer, sampler=sampler,
+        engine=config.engine,
     )
     registry = MetricsRegistry()
     pending = list(stripes)

@@ -101,7 +101,7 @@ def execute_multi_chunk(
     config = config or ExecutionConfig()
     if decode_rate <= 0:
         raise PlanningError("decode rate must be positive")
-    sim = FluidSimulator(network, start_time=start_time)
+    sim = FluidSimulator(network, start_time=start_time, engine=config.engine)
     download = sim.submit_bulk(
         [(src, dst, float(config.chunk_size)) for src, dst in plan.download_edges],
         label="multichunk-download",

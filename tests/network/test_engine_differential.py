@@ -1,0 +1,209 @@
+"""Differential oracle harness: fast engine vs reference, bit for bit.
+
+The ``engine="fast"`` allocator (vectorized waterfilling + component-local
+incremental recompute) must be **observationally identical** to the
+``engine="reference"`` oracle — not within a tolerance, identical.  Every
+assertion here is ``==`` on nested dicts of floats: task finish times,
+per-class and per-node byte accounting, event-loop step counts, and the
+flight recorder's sampled link rates.  ``rate_recomputations`` is the one
+counter allowed to differ (the incremental engine solves less often by
+design) and is excluded from the digests by construction
+(:func:`repro.network.scenario.digest`).
+
+Coverage: ≥50 randomized seeded churn scenarios (arrivals, finishes,
+cancels, re-caps across repair/foreground/hedge classes, same-instant
+bursts, capacity breakpoints), rack topologies, a repair-storm scenario,
+and the committed benchmark suites from ``scripts/bench_snapshot.py``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.network.simulator as simulator_module
+from repro.network import FluidSimulator, StarNetwork
+from repro.network.scenario import (
+    random_scenario,
+    replay,
+    storm_scenario,
+)
+
+SEEDS = list(range(50))
+RACKED_SEEDS = [100, 101, 102, 103, 104, 105]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_randomized_scenarios_bit_identical(seed):
+    scenario = random_scenario(seed, node_count=12, steps=50)
+    reference = replay(scenario, "reference", sample_interval=0.5)
+    fast = replay(scenario, "fast", sample_interval=0.5)
+    assert reference == fast
+
+
+@pytest.mark.parametrize("seed", RACKED_SEEDS)
+def test_racked_scenarios_bit_identical(seed):
+    # Rack up/down resources exercise usage maps beyond per-node links.
+    scenario = random_scenario(seed, node_count=16, steps=50, racked=True)
+    reference = replay(scenario, "reference", sample_interval=0.5)
+    fast = replay(scenario, "fast", sample_interval=0.5)
+    assert reference == fast
+
+
+def test_storm_scenario_bit_identical():
+    # The recompute-bound shape the fast engine exists for, shrunk to a
+    # size the reference oracle can chew through in CI.
+    scenario = storm_scenario(
+        3, node_count=96, repairs=24, foreground_flows=48
+    )
+    reference = replay(scenario, "reference")
+    fast = replay(scenario, "fast")
+    assert reference == fast
+    assert reference["tasks_completed"] == 24 + 48
+
+
+def test_unknown_engine_rejected():
+    from repro.exceptions import SimulationError
+
+    with pytest.raises(SimulationError):
+        FluidSimulator(StarNetwork.uniform(4, 100.0), engine="warp")
+
+
+class TestCommittedBenchSuites:
+    """The pinned benchmark suites are digest-equal under both engines.
+
+    Runs each suite from ``scripts/bench_snapshot.py`` twice, flipping
+    the repo-default engine, and compares the recorded simulated metrics
+    exactly (``rate_recomputations`` removed — the engines legitimately
+    disagree on how often they solve).
+    """
+
+    @staticmethod
+    def _bench():
+        scripts = Path(__file__).resolve().parents[2] / "scripts"
+        sys.path.insert(0, str(scripts))
+        try:
+            import bench_snapshot
+        finally:
+            sys.path.remove(str(scripts))
+        return bench_snapshot
+
+    @staticmethod
+    def _strip(sim):
+        def scrub(value):
+            if isinstance(value, dict):
+                return {
+                    key: scrub(inner)
+                    for key, inner in value.items()
+                    if key != "rate_recomputations"
+                }
+            return value
+
+        return scrub(sim)
+
+    @pytest.mark.parametrize(
+        "suite", ["single_chunk", "full_node", "foreground_interference"]
+    )
+    def test_suite_bit_identical(self, suite, monkeypatch):
+        bench = self._bench()
+        fn = bench.SUITES[suite]
+        monkeypatch.setattr(simulator_module, "DEFAULT_ENGINE", "reference")
+        reference = self._strip(fn()["sim"])
+        monkeypatch.setattr(simulator_module, "DEFAULT_ENGINE", "fast")
+        fast = self._strip(fn()["sim"])
+        assert reference == fast
+
+
+class TestByteConservation:
+    """Regression for the cancel/re-cap invalidation hazard.
+
+    Interleaves ``cancel_task`` / ``set_task_max_rate`` with
+    ``advance_to`` and checks that the global byte ledger balances: the
+    bytes the simulator says crossed the links equal the sum over every
+    task (finished, cancelled, and still live) of the bytes it carried.
+    A stale cached rate after a cancel or re-cap breaks this immediately
+    — the perturbed component would keep transferring at pre-perturbation
+    rates.
+    """
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_interleaved_cancel_and_recap_conserves_bytes(self, engine):
+        sim = FluidSimulator(StarNetwork.uniform(8, 100.0), engine=engine)
+        a = sim.submit_pipelined([(0, 1), (1, 2)], 500.0, kind="repair")
+        b = sim.submit_pipelined([(3, 4), (4, 5)], 500.0, kind="repair")
+        c = sim.submit_bulk(
+            [(6, 7, 400.0), (5, 6, 300.0)], kind="foreground"
+        )
+        sim.advance_to(1.0)
+        sim.set_task_max_rate(a, 20.0)
+        sim.advance_to(2.0)
+        cancelled_remaining = sim.cancel_task(b)
+        assert cancelled_remaining > 0
+        sim.advance_to(2.5)
+        sim.set_task_max_rate(a, None)
+        d = sim.submit_pipelined([(3, 4), (4, 5)], 200.0, kind="hedge")
+        sim.advance_to(3.0)
+        sim.cancel_task(c)
+        sim.run(max_time=500.0)
+
+        handles = [a, b, c, d]
+        assert a.done and d.done
+        assert b.cancelled and c.cancelled
+        total = sum(sim.task_bytes_carried(h) for h in handles)
+        assert sim.stats.bytes_transferred == pytest.approx(
+            total, rel=1e-12, abs=1e-9
+        )
+        by_kind = sum(sim.stats.bytes_by_kind.values())
+        assert sim.stats.bytes_transferred == pytest.approx(
+            by_kind, rel=1e-12, abs=1e-9
+        )
+        # Cancelled tasks carried exactly their frozen progress.
+        assert sim.task_bytes_carried(b) == pytest.approx(
+            b.progress * 2 * 500.0, rel=1e-9
+        )
+
+    def test_interleaved_churn_identical_across_engines(self):
+        def run(engine):
+            sim = FluidSimulator(
+                StarNetwork.uniform(8, 100.0), engine=engine
+            )
+            a = sim.submit_pipelined([(0, 1), (1, 2)], 500.0)
+            b = sim.submit_pipelined([(3, 4), (4, 5)], 500.0)
+            sim.advance_to(1.0)
+            sim.set_task_max_rate(a, 20.0)
+            sim.advance_to(2.0)
+            sim.cancel_task(b)
+            c = sim.submit_bulk([(3, 4, 100.0)])
+            sim.run(max_time=500.0)
+            return (
+                a.finish_time, b.progress, c.finish_time,
+                sim.stats.bytes_transferred, dict(sim.bytes_up),
+                dict(sim.bytes_down), sim.stats.steps,
+            )
+
+        assert run("reference") == run("fast")
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_recap_applies_immediately(self, engine):
+        # A re-capped component must re-solve at the next observation;
+        # with a stale cache the old rate would leak into current_rate.
+        sim = FluidSimulator(StarNetwork.uniform(4, 100.0), engine=engine)
+        task = sim.submit_pipelined([(0, 1)], 1000.0)
+        assert sim.current_rate(task) == 100.0
+        sim.set_task_max_rate(task, 10.0)
+        assert sim.current_rate(task) == 10.0
+        sim.advance_to(1.0)
+        sim.set_task_max_rate(task, None)
+        assert sim.current_rate(task) == 100.0
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_cancel_frees_bandwidth_for_component(self, engine):
+        # Two tasks share node 1's downlink; cancelling one must double
+        # the survivor's rate at the very next observation.
+        sim = FluidSimulator(StarNetwork.uniform(4, 100.0), engine=engine)
+        first = sim.submit_pipelined([(0, 1)], 1000.0)
+        second = sim.submit_pipelined([(2, 1)], 1000.0)
+        assert sim.current_rate(first) == 50.0
+        sim.advance_to(1.0)
+        sim.cancel_task(second)
+        assert sim.current_rate(first) == 100.0

@@ -1,0 +1,245 @@
+"""Property-based tests for the max-min allocators (reference + fast).
+
+Four properties pin down max-min fairness itself, independent of either
+implementation:
+
+* **feasibility** — no resource is loaded past its capacity;
+* **max-min bottleneck criterion** — every task runs at its rate cap or
+  saturates some resource on which no co-user runs faster (so no task can
+  gain without starving a slower-or-equal one);
+* **work conservation** — a saturated resource is actually full, and a
+  task below its cap with headroom on every resource it uses cannot exist;
+* **permutation invariance** — the allocation is a function of the task
+  *set*, not the submission order.
+
+Plus the property the whole PR rests on: the vectorized allocator
+(:func:`repro.network.engine.vectorized_max_min_allocate`) returns
+**bit-identical** rates to the reference on every generated instance.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.engine import vectorized_max_min_allocate, waterfill
+from repro.network.fairness import max_min_allocate, usage_from_edges
+
+# Coupled-task instances built the way the simulator builds them: each
+# task is a set of directed edges over a small node universe, so usage
+# coefficients are integral edge counts (the exactness premise of the
+# fast engine) and resources are genuinely shared.
+node_ids = st.integers(min_value=0, max_value=7)
+edges = st.tuples(node_ids, node_ids).filter(lambda e: e[0] != e[1])
+tasks = st.lists(
+    st.lists(edges, min_size=1, max_size=4), min_size=0, max_size=8
+)
+caps_for = st.one_of(
+    st.none(),
+    st.floats(
+        min_value=0.0, max_value=200.0,
+        allow_nan=False, allow_infinity=False,
+    ),
+)
+
+
+def _instance(task_edges, seed):
+    rng = random.Random(seed)
+    usages = [usage_from_edges(e) for e in task_edges]
+    resources = sorted(
+        {r for usage in usages for r in usage}, key=repr
+    )
+    capacities = {
+        r: rng.choice([0.0, rng.uniform(0.5, 150.0)]) for r in resources
+    }
+    rate_caps = [
+        None if rng.random() < 0.5 else rng.uniform(0.0, 100.0)
+        for _ in usages
+    ]
+    return usages, capacities, rate_caps
+
+
+def _loads(usages, rates):
+    loads = {}
+    for usage, rate in zip(usages, rates):
+        for resource, coeff in usage.items():
+            loads[resource] = loads.get(resource, 0.0) + coeff * rate
+    return loads
+
+
+@settings(max_examples=200, deadline=None)
+@given(task_edges=tasks, seed=st.integers(0, 2**20))
+def test_feasibility_no_resource_over_capacity(task_edges, seed):
+    usages, capacities, rate_caps = _instance(task_edges, seed)
+    rates = max_min_allocate(usages, capacities, rate_caps)
+    assert all(rate >= 0.0 for rate in rates)
+    for rate, cap in zip(rates, rate_caps):
+        if cap is not None:
+            assert rate <= cap + 1e-9 * max(cap, 1.0)
+    for resource, load in _loads(usages, rates).items():
+        capacity = capacities.get(resource, 0.0)
+        assert load <= capacity + 1e-9 * max(capacity, 1.0)
+
+
+@settings(max_examples=200, deadline=None)
+@given(task_edges=tasks, seed=st.integers(0, 2**20))
+def test_max_min_bottleneck_criterion(task_edges, seed):
+    # Every task with positive potential is either at its own cap or has
+    # a bottleneck: a saturated resource where it is a fastest user.
+    # That is the classical characterization of max-min fairness — no
+    # task can be sped up without slowing a task that is no faster.
+    usages, capacities, rate_caps = _instance(task_edges, seed)
+    rates = max_min_allocate(usages, capacities, rate_caps)
+    loads = _loads(usages, rates)
+    for i, (usage, rate, cap) in enumerate(
+        zip(usages, rates, rate_caps)
+    ):
+        if not usage:
+            assert rate == 0.0
+            continue
+        if cap is not None and math.isclose(
+            rate, cap, rel_tol=1e-9, abs_tol=1e-12
+        ):
+            continue
+        bottlenecked = False
+        for resource in usage:
+            capacity = capacities.get(resource, 0.0)
+            saturated = loads[resource] >= capacity - 1e-9 * max(
+                capacity, 1.0
+            )
+            if not saturated:
+                continue
+            fastest = all(
+                rates[j] <= rate + 1e-9 * max(rate, 1.0)
+                for j, other in enumerate(usages)
+                if resource in other and other[resource] > 0
+            )
+            if fastest:
+                bottlenecked = True
+                break
+        assert bottlenecked, (
+            f"task {i} rate {rate} is below cap with no bottleneck"
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(task_edges=tasks, seed=st.integers(0, 2**20))
+def test_permutation_invariance(task_edges, seed):
+    usages, capacities, rate_caps = _instance(task_edges, seed)
+    rates = max_min_allocate(usages, capacities, rate_caps)
+    order = list(range(len(usages)))
+    random.Random(seed ^ 0x5EED).shuffle(order)
+    shuffled = max_min_allocate(
+        [usages[i] for i in order],
+        capacities,
+        [rate_caps[i] for i in order],
+    )
+    # Bit-identical under permutation, not merely close: the level
+    # formulation's accumulators advance by order-independent sums.
+    assert shuffled == [rates[i] for i in order]
+
+
+@settings(max_examples=300, deadline=None)
+@given(task_edges=tasks, seed=st.integers(0, 2**20))
+def test_vectorized_allocator_bit_identical(task_edges, seed):
+    usages, capacities, rate_caps = _instance(task_edges, seed)
+    reference = max_min_allocate(usages, capacities, rate_caps)
+    fast = vectorized_max_min_allocate(usages, capacities, rate_caps)
+    assert reference == fast
+
+
+@settings(max_examples=100, deadline=None)
+@given(task_edges=tasks, seed=st.integers(0, 2**20))
+def test_work_conservation_on_bottlenecked_links(task_edges, seed):
+    # A resource that limited anyone is fully used: the sum of its
+    # users' demands equals its capacity whenever some uncapped user
+    # ended below every other constraint — i.e. bandwidth is never left
+    # on the table by the allocator itself.
+    usages, capacities, rate_caps = _instance(task_edges, seed)
+    rates = max_min_allocate(usages, capacities, rate_caps)
+    loads = _loads(usages, rates)
+    for i, (usage, rate, cap) in enumerate(
+        zip(usages, rates, rate_caps)
+    ):
+        if not usage:
+            continue
+        at_cap = cap is not None and math.isclose(
+            rate, cap, rel_tol=1e-9, abs_tol=1e-12
+        )
+        if at_cap:
+            continue
+        # The task was limited by the network: at least one of its
+        # resources must be exactly full (work conservation at its
+        # bottleneck) — otherwise the allocator under-filled.
+        full = any(
+            math.isclose(
+                loads[r], capacities.get(r, 0.0),
+                rel_tol=1e-9, abs_tol=1e-9,
+            )
+            for r in usage
+        )
+        assert full, f"task {i}: no fully-used resource, rate {rate}"
+
+
+class TestValidationParity:
+    """Both allocators reject malformed instances with the same errors."""
+
+    @pytest.mark.parametrize(
+        "allocate", [max_min_allocate, vectorized_max_min_allocate]
+    )
+    def test_negative_coefficient(self, allocate):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match="negative usage"):
+            allocate([{("up", 0): -1.0}], {("up", 0): 10.0})
+
+    @pytest.mark.parametrize(
+        "allocate", [max_min_allocate, vectorized_max_min_allocate]
+    )
+    def test_cap_length_mismatch(self, allocate):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match="length"):
+            allocate([{("up", 0): 1.0}], {("up", 0): 10.0}, [1.0, 2.0])
+
+    @pytest.mark.parametrize(
+        "allocate", [max_min_allocate, vectorized_max_min_allocate]
+    )
+    def test_negative_cap(self, allocate):
+        from repro.exceptions import SimulationError
+
+        with pytest.raises(SimulationError, match="negative"):
+            allocate([{("up", 0): 1.0}], {("up", 0): 10.0}, [-1.0])
+
+    @pytest.mark.parametrize(
+        "allocate", [max_min_allocate, vectorized_max_min_allocate]
+    )
+    def test_unconstrained_task(self, allocate):
+        from repro.exceptions import SimulationError
+
+        # Positive usage on a resource with infinite capacity and no cap:
+        # the water level never stops rising.
+        with pytest.raises(SimulationError, match="unconstrained"):
+            allocate([{("up", 0): 1.0}], {("up", 0): math.inf})
+
+    @pytest.mark.parametrize(
+        "allocate", [max_min_allocate, vectorized_max_min_allocate]
+    )
+    def test_empty_instance(self, allocate):
+        assert allocate([], {}) == []
+
+
+def test_waterfill_kernel_direct():
+    # Two tasks sharing one column of capacity 100; one capped at 10.
+    import numpy as np
+
+    rates = waterfill(
+        np.array([0, 1, 2]),
+        np.array([0, 0], dtype=np.intp),
+        np.array([1.0, 1.0]),
+        np.array([100.0]),
+        np.array([math.inf, 10.0]),
+    )
+    assert list(rates) == [90.0, 10.0]
