@@ -20,6 +20,12 @@ plain/instrumented repeats compared by median — not separate timing
 blocks, which let machine drift masquerade as (even negative)
 overhead — and each relative cost is gated at 5% when comparing.
 
+Two floor-gated sections ride along: ``engine_scale`` (the 1024-node
+repair storm under both allocation engines, ≥10x speedup enforced) and
+``lifetime`` (a pinned Monte-Carlo durability study, simulated-years
+per wall-second floor plus a pivot-loses-strictly-less acceptance
+check).  Their simulated metrics are drift-gated on compare.
+
 With ``--compare previous.json`` the run gates like CI does:
 
 * simulated metrics must match the previous snapshot (tiny relative
@@ -217,6 +223,69 @@ SUITES = {
 #: Hard floor for the fast engine's advantage on the 1024-node storm.
 ENGINE_SPEEDUP_FLOOR = 10.0
 
+#: Hard floor for the lifetime event loop: simulated years per wall
+#: second (local machines run ~25/s; the floor absorbs slow CI runners).
+LIFETIME_YEARS_PER_SECOND_FLOOR = 4.0
+
+
+def lifetime_section(repeats: int) -> dict:
+    """Time the Monte-Carlo cluster-lifetime loop on a pinned study.
+
+    Fixed analytic repair durations keep the section independent of the
+    fluid simulator (the repair suites above already cover it) so the
+    wall clock measures the event loop itself: outage scheduling, heap
+    churn, and incremental intact/live bookkeeping.  Simulated metrics
+    (digest, per-scheme loss counts) are bit-stable for the seed and
+    drift-gated on compare; the run fails outright if PivotRepair does
+    not lose strictly less than conventional, or if throughput drops
+    below :data:`LIFETIME_YEARS_PER_SECOND_FLOOR` — the durability
+    acceptance gate, not a soft metric.
+    """
+    from repro.lifetime import FixedDurations, LifetimeConfig, run_lifetime
+
+    config = LifetimeConfig(
+        years=4, runs=8, seed=42, schemes=("pivot", "conventional"),
+        stripes=64, disk_mttf_days=30.0, repair_streams=1,
+    )
+    durations = FixedDurations(
+        {"pivot": 3600.0, "conventional": 4 * 3600.0}
+    )
+    report, wall = _timed(
+        lambda: run_lifetime(config, durations=durations), repeats
+    )
+    pivot = report.schemes["pivot"].total_losses
+    conventional = report.schemes["conventional"].total_losses
+    if not 0 < pivot < conventional:
+        raise SystemExit(
+            f"lifetime suite: pivot {pivot} losses vs conventional "
+            f"{conventional} — faster repairs must lose strictly less"
+        )
+    simulated_years = config.runs * config.years * len(config.schemes)
+    throughput = simulated_years / wall
+    if throughput < LIFETIME_YEARS_PER_SECOND_FLOOR:
+        raise SystemExit(
+            f"lifetime suite: {throughput:.1f} simulated years/s below "
+            f"the {LIFETIME_YEARS_PER_SECOND_FLOOR:.0f}/s floor "
+            f"({simulated_years} years in {wall:.3f}s)"
+        )
+    return {
+        "runs": config.runs,
+        "years": config.years,
+        "stripes": config.stripes,
+        "sim": {
+            "digest": report.digest,
+            "pivot_losses": pivot,
+            "conventional_losses": conventional,
+            "pivot_repairs": sum(
+                r["repairs_completed"] for r in report.schemes["pivot"].runs
+            ),
+        },
+        "simulated_years": simulated_years,
+        "wall_seconds": round(wall, 6),
+        "years_per_second": round(throughput, 2),
+        "years_per_second_floor": LIFETIME_YEARS_PER_SECOND_FLOOR,
+    }
+
 
 def engine_scale_section(repeats: int) -> dict:
     """Time the 1024-node repair storm under both allocation engines.
@@ -366,6 +435,17 @@ def collect(repeats: int) -> dict:
         print(f"{name}: wall {wall:.3f}s")
     # Allocation-engine scale gate: the 1024-node storm, both engines.
     snapshot["engine_scale"] = engine_scale_section(repeats)
+    # Lifetime event-loop gate: a pinned Monte-Carlo durability study.
+    snapshot["lifetime"] = lifetime_section(repeats)
+    print(
+        "lifetime: "
+        f"{snapshot['lifetime']['simulated_years']} simulated years in "
+        f"{snapshot['lifetime']['wall_seconds']:.3f}s = "
+        f"{snapshot['lifetime']['years_per_second']:.1f}/s (floor "
+        f"{LIFETIME_YEARS_PER_SECOND_FLOOR:.0f}/s), pivot "
+        f"{snapshot['lifetime']['sim']['pivot_losses']} vs conventional "
+        f"{snapshot['lifetime']['sim']['conventional_losses']} losses"
+    )
     print(
         "engine_scale: fast "
         f"{snapshot['engine_scale']['fast_wall_seconds']:.3f}s vs "
@@ -511,15 +591,18 @@ def compare(current: dict, previous: dict, tolerance: float) -> list[str]:
                 f"{name}: wall {suite['wall_seconds']:.3f}s within "
                 f"budget {budget:.3f}s"
             )
-    # Engine scale suite: simulated metrics are bit-stable for a seed,
-    # so any drift is a behaviour change.  Wall times and the speedup
-    # are machine-dependent; the ≥10x floor is enforced at collect time
-    # on every run, so they are recorded here but not re-gated.
-    scale_before = previous.get("engine_scale")
-    scale_now = current.get("engine_scale")
-    if scale_before is not None and scale_now is not None:
-        old_flat = _flatten_sim(scale_before.get("sim", {}))
-        for key, value in _flatten_sim(scale_now["sim"]).items():
+    # Floor-gated sections: simulated metrics are bit-stable for a
+    # seed, so any drift is a behaviour change.  Wall times (and the
+    # engine speedup / lifetime throughput) are machine-dependent; their
+    # hard floors are enforced at collect time on every run, so they are
+    # recorded here but not re-gated.
+    for section in ("engine_scale", "lifetime"):
+        before_section = previous.get(section)
+        now_section = current.get(section)
+        if before_section is None or now_section is None:
+            continue
+        old_flat = _flatten_sim(before_section.get("sim", {}))
+        for key, value in _flatten_sim(now_section["sim"]).items():
             old = old_flat.get(key)
             if old is None:
                 continue
@@ -531,7 +614,7 @@ def compare(current: dict, previous: dict, tolerance: float) -> list[str]:
                 drifted = value != old
             if drifted:
                 failures.append(
-                    f"engine_scale: simulated metric {key} changed "
+                    f"{section}: simulated metric {key} changed "
                     f"{old!r} -> {value!r} (behaviour drift, not noise)"
                 )
     # Overhead gates: 5% relative with the same 50ms absolute slack as

@@ -1,6 +1,6 @@
 """CI chaos smoke: faulted repairs must re-plan, resume, and hedge.
 
-Three scenarios, all seeded and deterministic:
+Four scenarios, all seeded and deterministic:
 
 * **replan** (per seed): a full-node repair with a helper crash injected
   mid-run must detect the crash, re-plan at least one stripe (nonzero
@@ -13,15 +13,24 @@ Three scenarios, all seeded and deterministic:
 * **hedge**: a gray failure (helper degraded to 5%, never crashing)
   must trip the health monitor and finish via an adopted hedged
   re-plan instead of limping at the degraded rate.
+* **lifetime**: a short accelerated Monte-Carlo lifetime study (repair
+  durations calibrated on the fluid simulator) must observe data loss
+  under conventional repair and strictly fewer losses with PivotRepair.
+
+Each scenario is isolated: an exception fails that scenario (recorded,
+not raised), the remaining scenarios still run, and the exit summary
+names every scenario that failed.
 """
 
 import sys
+import traceback
 
 import numpy as np
 
 from repro.core import PivotRepairPlanner
 from repro.ec import RSCode, place_stripes
 from repro.faults import FaultPlan, RetryPolicy
+from repro.lifetime import LifetimeConfig, run_lifetime
 from repro.network.topology import StarNetwork
 from repro.repair import repair_full_node, repair_single_chunk_faulted
 from repro.repair.pipeline import ExecutionConfig
@@ -112,38 +121,97 @@ def run_hedge() -> dict:
     }
 
 
-def main() -> int:
-    seeds = [int(s) for s in sys.argv[1:]] or [1, 2, 3]
-    bad = False
+def run_lifetime_smoke() -> dict:
+    """Accelerated lifetime study: PivotRepair must lose strictly less."""
+    report = run_lifetime(
+        LifetimeConfig(
+            years=3, runs=8, seed=1234, stripes=32,
+            disk_mttf_days=30.0, repair_streams=1,
+            data_per_chunk_gib=256.0, calibration_instants=4,
+        )
+    )
+    pivot = report.schemes["pivot"].total_losses
+    conventional = report.schemes["conventional"].total_losses
+    return {
+        "pivot": pivot,
+        "conventional": conventional,
+        "digest": report.digest[:12],
+    }
+
+
+def _check_replan(seeds) -> tuple[bool, list[str]]:
+    ok, lines = True, []
     for seed in seeds:
         stats = run(seed)
-        print(
+        lines.append(
             "seed {seed}: {replans} replans, {detections} detections, "
             "{repaired} repaired, {failed} failed".format(**stats)
         )
         if stats["replans"] < 1 or stats["failed"] > 0:
-            bad = True
+            ok = False
+    return ok, lines
 
+
+def _check_resume() -> tuple[bool, list[str]]:
     resume = run_resume()
-    print(
+    line = (
         "resume: {progress} progress records, {resumed} resumed starts, "
         "{repaired} repaired, {failed} failed".format(**resume)
     )
-    if resume["progress"] < 1 or resume["resumed"] < 1 or resume["failed"]:
-        bad = True
+    ok = bool(
+        resume["progress"] >= 1
+        and resume["resumed"] >= 1
+        and not resume["failed"]
+    )
+    return ok, [line]
 
+
+def _check_hedge() -> tuple[bool, list[str]]:
     hedge = run_hedge()
-    print(
+    line = (
         "hedge: ok={ok} hedges={hedges} stragglers={stragglers} "
         "transfer={transfer_seconds}s".format(**hedge)
     )
-    if not hedge["ok"] or hedge["hedges"] < 1 or hedge["stragglers"] < 1:
-        bad = True
+    ok = bool(hedge["ok"] and hedge["hedges"] >= 1 and hedge["stragglers"] >= 1)
+    return ok, [line]
 
-    if bad:
+
+def _check_lifetime() -> tuple[bool, list[str]]:
+    stats = run_lifetime_smoke()
+    line = (
+        "lifetime: pivot {pivot} vs conventional {conventional} losses "
+        "(digest {digest})".format(**stats)
+    )
+    ok = 0 < stats["conventional"] and stats["pivot"] < stats["conventional"]
+    return ok, [line]
+
+
+def main() -> int:
+    seeds = [int(s) for s in sys.argv[1:]] or [1, 2, 3]
+    scenarios = [
+        ("replan", lambda: _check_replan(seeds)),
+        ("resume", _check_resume),
+        ("hedge", _check_hedge),
+        ("lifetime", _check_lifetime),
+    ]
+    failed: list[str] = []
+    for name, check in scenarios:
+        try:
+            ok, lines = check()
+        except Exception:
+            traceback.print_exc()
+            ok, lines = False, [f"{name}: raised (traceback above)"]
+        for line in lines:
+            print(line)
+        if not ok:
+            failed.append(name)
+
+    if failed:
         print(
-            "chaos smoke FAILED: expected replans + 0 failures, resumed "
-            "starts after a journaled crash, and an adopted hedge"
+            "chaos smoke FAILED in: " + ", ".join(failed)
+            + " (expected replans + 0 failures, resumed starts after a "
+            "journaled crash, an adopted hedge, and strictly fewer "
+            "lifetime losses for PivotRepair)"
         )
         return 1
     print("chaos smoke ok")

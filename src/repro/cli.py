@@ -47,6 +47,12 @@ from repro.core.scheduler import SchedulerConfig
 from repro.ec import RSCode, place_stripes
 from repro.exceptions import ReproError
 from repro.faults import FaultPlan, RetryPolicy
+from repro.lifetime import (
+    ExponentialDurations,
+    FixedDurations,
+    LifetimeConfig,
+    run_lifetime,
+)
 from repro.loadgen import (
     ForegroundEngine,
     LoadProfile,
@@ -60,6 +66,7 @@ from repro.obs import (
     Dashboard,
     FlightRecorder,
     LiveTop,
+    MetricsRegistry,
     SLOMonitor,
     SLOSpec,
     TimeSeriesDB,
@@ -337,6 +344,77 @@ def _build_parser() -> argparse.ArgumentParser:
     top.add_argument(
         "--tsdb-out", type=Path, default=None, metavar="PATH",
         help="write the final TSDB contents as JSONL",
+    )
+
+    lifetime = commands.add_parser(
+        "lifetime",
+        help="Monte-Carlo cluster-lifetime durability study",
+        description="Simulate months-to-years of cluster life under "
+        "disk/machine/rack failures and compare repair schemes on "
+        "durability: data-loss events, MTTDL, and nines.  Repair "
+        "durations are calibrated against the congestion-aware fluid "
+        "simulator by default, so faster repair shows up as fewer "
+        "losses.  Bit-deterministic for a fixed seed.",
+    )
+    lifetime.add_argument("--years", type=float, default=10.0)
+    lifetime.add_argument("--runs", type=int, default=100)
+    lifetime.add_argument("--seed", type=int, default=42)
+    lifetime.add_argument(
+        "--schemes", default="pivot,conventional",
+        help="comma-separated subset of pivot,rp,conventional",
+    )
+    lifetime.add_argument("--machines", type=int, default=16)
+    lifetime.add_argument("--racks", type=int, default=4)
+    lifetime.add_argument("--disks-per-machine", type=int, default=2)
+    lifetime.add_argument("--stripes", type=int, default=64)
+    lifetime.add_argument("--n", type=int, default=6)
+    lifetime.add_argument("--k", type=int, default=4)
+    lifetime.add_argument(
+        "--disk-mttf-days", type=float, default=120.0,
+        help="accelerated disk MTTF (permanent failures; 0 disables)",
+    )
+    lifetime.add_argument("--disk-replace-hours", type=float, default=0.0)
+    lifetime.add_argument(
+        "--machine-mttf-days", type=float, default=60.0,
+        help="transient machine outage MTTF (0 disables)",
+    )
+    lifetime.add_argument("--machine-mttr-hours", type=float, default=1.0)
+    lifetime.add_argument(
+        "--rack-mttf-days", type=float, default=180.0,
+        help="correlated rack outage MTTF (0 disables)",
+    )
+    lifetime.add_argument("--rack-mttr-hours", type=float, default=4.0)
+    lifetime.add_argument("--repair-streams", type=int, default=2)
+    lifetime.add_argument(
+        "--policy", choices=("eager", "lazy"), default="eager",
+        help="repair dispatch: eager repairs at once, lazy batches "
+        "until --lazy-threshold chunks of a stripe are lost",
+    )
+    lifetime.add_argument("--lazy-threshold", type=int, default=2)
+    lifetime.add_argument(
+        "--data-per-chunk-gib", type=float, default=64.0,
+        help="real data one simulated chunk stands for (scales repair "
+        "durations)",
+    )
+    lifetime.add_argument(
+        "--workload", choices=sorted(PROFILES), default="TPC-DS",
+        help="trace profile the duration model is calibrated against",
+    )
+    lifetime.add_argument("--calibration-instants", type=int, default=8)
+    lifetime.add_argument(
+        "--durations", choices=("calibrated", "exponential", "fixed"),
+        default="calibrated",
+        help="repair-duration model; analytic models use "
+        "--mean-repair-hours for every scheme",
+    )
+    lifetime.add_argument("--mean-repair-hours", type=float, default=1.0)
+    lifetime.add_argument(
+        "--out", type=Path, default=None, metavar="PATH",
+        help="write per-run results as JSONL",
+    )
+    lifetime.add_argument(
+        "--tsdb-out", type=Path, default=None, metavar="PATH",
+        help="write loss-event time series as JSONL",
     )
     return parser
 
@@ -1190,6 +1268,66 @@ def _cmd_top(args, tracer=NULL_TRACER) -> dict:
     }
 
 
+def _cmd_lifetime(args, tracer=NULL_TRACER) -> dict:
+    schemes = tuple(
+        scheme.strip() for scheme in args.schemes.split(",") if scheme.strip()
+    )
+    config = LifetimeConfig(
+        years=args.years, runs=args.runs, seed=args.seed, schemes=schemes,
+        machines=args.machines, racks=args.racks,
+        disks_per_machine=args.disks_per_machine, stripes=args.stripes,
+        n=args.n, k=args.k,
+        disk_mttf_days=args.disk_mttf_days,
+        disk_replace_hours=args.disk_replace_hours,
+        machine_mttf_days=args.machine_mttf_days,
+        machine_mttr_hours=args.machine_mttr_hours,
+        rack_mttf_days=args.rack_mttf_days,
+        rack_mttr_hours=args.rack_mttr_hours,
+        repair_streams=args.repair_streams, policy=args.policy,
+        lazy_threshold=args.lazy_threshold,
+        data_per_chunk_gib=args.data_per_chunk_gib,
+        workload=args.workload,
+        calibration_instants=args.calibration_instants,
+    )
+    durations = None  # calibrated lazily by run_lifetime
+    if args.durations == "exponential":
+        durations = ExponentialDurations(
+            args.mean_repair_hours * 3600.0, schemes=schemes
+        )
+    elif args.durations == "fixed":
+        durations = FixedDurations(
+            args.mean_repair_hours * 3600.0, schemes=schemes
+        )
+    registry = MetricsRegistry() if args.metrics else None
+    tsdb = TimeSeriesDB() if args.tsdb_out is not None else None
+    report = run_lifetime(
+        config, durations=durations, registry=registry, tsdb=tsdb,
+        tracer=tracer,
+    )
+    if args.out is not None:
+        report.write_jsonl(args.out)
+    if args.tsdb_out is not None:
+        args.tsdb_out.write_text(tsdb.to_jsonl())
+    payload = report.summary()
+    if {"pivot", "conventional"} <= set(schemes):
+        pivot = report.schemes["pivot"]
+        conventional = report.schemes["conventional"]
+        payload["comparison"] = {
+            "pivot_losses": pivot.total_losses,
+            "conventional_losses": conventional.total_losses,
+            "pivot_strictly_fewer": (
+                pivot.total_losses < conventional.total_losses
+            ),
+            "pivot_nines_advantage": (
+                pivot.durability_nines(config.years, config.stripes)
+                >= conventional.durability_nines(config.years, config.stripes)
+            ),
+        }
+    if args.metrics:
+        payload["telemetry"] = registry.snapshot()
+    return payload
+
+
 # ----------------------------------------------------------------------
 # Rendering
 # ----------------------------------------------------------------------
@@ -1310,6 +1448,56 @@ def _render(args, payload: dict) -> str:
                 "telemetry:\n" + json.dumps(payload["telemetry"], indent=2)
             )
         return "\n".join(lines)
+    if args.command == "lifetime":
+        config = payload["config"]
+        rows = []
+        for name, values in payload["schemes"].items():
+            mttdl = values["mttdl_years"]
+            nines = values["durability_nines"]
+            low, high = values["loss_ci95"]
+            rows.append(
+                (
+                    name,
+                    str(values["total_data_loss_events"]),
+                    f"{values['mean_losses_per_run']:.3f} "
+                    f"[{low:.3f}, {high:.3f}]",
+                    "inf" if mttdl is None else f"{mttdl:.1f}",
+                    "inf" if nines is None else f"{nines:.2f}",
+                    f"{values['mean_repair_hours']:.2f} h",
+                    f"{values['unavailable_hours']:.0f} h",
+                )
+            )
+        header = (
+            f"cluster lifetime: {config['runs']} runs x "
+            f"{config['years']:g} simulated years, "
+            f"(n,k)=({config['n']},{config['k']}), "
+            f"{config['stripes']} stripes over {config['machines']} "
+            f"machines / {config['racks']} racks, seed {config['seed']}"
+        )
+        table = format_table(
+            [
+                "scheme", "losses", "losses/run [95% CI]", "MTTDL (y)",
+                "nines", "mean repair", "unavailable",
+            ],
+            rows,
+        )
+        lines = [header, table, f"digest: {payload['digest']}"]
+        comparison = payload.get("comparison")
+        if comparison is not None:
+            verdict = (
+                "strictly fewer data-loss events than conventional"
+                if comparison["pivot_strictly_fewer"]
+                else "NOT fewer data-loss events than conventional"
+            )
+            lines.append(
+                f"PivotRepair: {comparison['pivot_losses']} vs "
+                f"{comparison['conventional_losses']} losses - {verdict}"
+            )
+        if args.metrics and "telemetry" in payload:
+            lines.append(
+                "telemetry:\n" + json.dumps(payload["telemetry"], indent=2)
+            )
+        return "\n".join(lines)
     if args.command == "experiment":
         return json.dumps(payload, indent=2)
     # trace generate/analyze: key-value listing.
@@ -1367,6 +1555,8 @@ def main(argv: list[str] | None = None) -> int:
             payload = _cmd_report(args, tracer)
         elif args.command == "top":
             payload = _cmd_top(args, tracer)
+        elif args.command == "lifetime":
+            payload = _cmd_lifetime(args, tracer)
         elif args.command == "resume":
             payload = _cmd_resume(args, tracer)
         else:

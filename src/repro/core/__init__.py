@@ -20,6 +20,7 @@ from repro.core.rack_aware import (
     rack_bmin,
 )
 from repro.core.scheduler import SchedulerConfig, recommendation_value
+from repro.core.seeding import child_seed_sequence, rng_from, spawn_rng
 from repro.core.tree import RepairTree
 
 __all__ = [
@@ -33,7 +34,10 @@ __all__ = [
     "RepairPlanner",
     "RepairTree",
     "SchedulerConfig",
+    "child_seed_sequence",
     "rack_bmin",
+    "rng_from",
+    "spawn_rng",
     "recommendation_value",
     "timeslot_schedule",
     "build_pivot_tree",

@@ -49,3 +49,7 @@ class FaultError(ReproError):
 
 class LoadGenError(ReproError):
     """A foreground load profile or engine was misconfigured."""
+
+
+class LifetimeError(ReproError):
+    """A cluster-lifetime simulation was misconfigured."""

@@ -39,6 +39,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.seeding import rng_from
 from repro.exceptions import FaultError
 
 __all__ = [
@@ -247,7 +248,7 @@ class FaultPlan:
     @classmethod
     def random(
         cls,
-        seed: int,
+        seed: int | np.random.Generator,
         node_count: int,
         *,
         horizon: float = 30.0,
@@ -261,8 +262,12 @@ class FaultPlan:
 
         ``protect`` lists nodes never chosen as fault targets (e.g. the
         requestor, when a test wants the repair to remain possible).
+        ``seed`` is an integer (historical streams, unchanged) or an
+        already-spawned child generator (see
+        :func:`repro.core.seeding.spawn_rng`), so a composite run can
+        derive its fault plan from one root seed.
         """
-        rng = np.random.default_rng(seed)
+        rng = rng_from(seed)
         targets = [n for n in range(node_count) if n not in set(protect)]
         if not targets:
             raise FaultError("no nodes left to inject faults into")

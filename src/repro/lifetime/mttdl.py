@@ -1,0 +1,69 @@
+"""Closed-form MTTDL of an (n, k) stripe — the golden reference.
+
+The classic birth-death Markov chain over the number of failed chunks
+``i``: failures arrive at rate ``(n - i) * λ`` (each of the remaining
+``n - i`` intact chunks fails independently at rate λ), repairs complete
+at rate ``min(i, streams) * μ`` (up to ``streams`` concurrent repairs,
+each exponential with rate μ), and state ``i = n - k + 1`` is absorbing —
+fewer than ``k`` chunks remain, the data is gone.
+
+This chain is *exactly* the lifetime simulator configured with
+exponential disk failures (zero replacement time), an
+:class:`~repro.lifetime.durations.ExponentialDurations` repair model, an
+eager policy, and a single stripe — so the Monte-Carlo estimate must
+converge to :func:`markov_mttdl`, which the regression suite checks.
+
+Solved by first-step analysis: with ``T_i`` the expected time to
+absorption from state ``i``,
+
+    (λ_i + μ_i) T_i = 1 + λ_i T_{i+1} + μ_i T_{i-1},  T_absorb = 0
+
+a tridiagonal linear system handed to numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import LifetimeError
+
+__all__ = ["markov_mttdl"]
+
+
+def markov_mttdl(
+    n: int,
+    k: int,
+    failure_rate: float,
+    repair_rate: float,
+    repair_streams: int = 1,
+) -> float:
+    """Expected seconds from all-intact to data loss for one stripe.
+
+    Args:
+        n, k: the erasure code — data loss at ``n - k + 1`` failures.
+        failure_rate: per-chunk failure rate λ (1 / MTTF seconds).
+        repair_rate: per-repair completion rate μ (1 / mean repair
+            seconds).
+        repair_streams: concurrent repairs the cluster sustains.
+    """
+    if n <= k or k < 1:
+        raise LifetimeError(f"need n > k >= 1, got ({n}, {k})")
+    if failure_rate <= 0 or repair_rate <= 0:
+        raise LifetimeError("failure and repair rates must be positive")
+    if repair_streams < 1:
+        raise LifetimeError("need at least one repair stream")
+
+    absorbing = n - k + 1  # first state with data loss
+    transient = absorbing  # states 0 .. n-k
+    matrix = np.zeros((transient, transient))
+    ones = np.ones(transient)
+    for i in range(transient):
+        lam = (n - i) * failure_rate
+        mu = min(i, repair_streams) * repair_rate
+        matrix[i, i] = lam + mu
+        if i + 1 < transient:
+            matrix[i, i + 1] = -lam  # to i+1 (absorption drops the term)
+        if i > 0:
+            matrix[i, i - 1] = -mu
+    times = np.linalg.solve(matrix, ones)
+    return float(times[0])

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.seeding import rng_from
 from repro.ec.stripe import Stripe
 from repro.exceptions import LoadGenError
 from repro.loadgen.requests import READ, WRITE, ClientRequest
@@ -179,7 +180,7 @@ def generate_requests(
     profile: LoadProfile,
     stripes: Sequence[Stripe],
     node_count: int,
-    seed: int = 0,
+    seed: int | np.random.Generator = 0,
     rate_profile: np.ndarray | None = None,
     profile_interval: float = 1.0,
 ) -> list[ClientRequest]:
@@ -188,13 +189,16 @@ def generate_requests(
     Reads target a Zipf-popular stripe's data chunk from a uniformly
     random client node (never the chunk's holder — that read is local and
     moves no network bytes); writes store a fresh object across a
-    stripe's placement.  Deterministic for a given seed.
+    stripe's placement.  Deterministic for a given seed.  ``seed`` is an
+    integer (historical streams, unchanged) or a child generator spawned
+    from a composite run's root seed
+    (:func:`repro.core.seeding.spawn_rng`).
     """
     if not stripes:
         raise LoadGenError("need at least one stripe to address")
     if node_count < 2:
         raise LoadGenError("need at least two nodes for client traffic")
-    rng = np.random.default_rng(seed)
+    rng = rng_from(seed)
     rate_of, peak = _modulation(profile, rng, rate_profile, profile_interval)
     weights = zipf_weights(len(stripes), profile.zipf_s)
     ordered = sorted(stripes, key=lambda s: s.stripe_id)

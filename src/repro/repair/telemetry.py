@@ -26,6 +26,7 @@ EVENT_PREFIXES = (
     "health",
     "hedge",
     "slo",
+    "lifetime",
 )
 
 

@@ -1,0 +1,167 @@
+"""Tests for the Monte-Carlo driver: pairing, determinism, artifacts."""
+
+import json
+import math
+
+import pytest
+
+from repro.exceptions import LifetimeError
+from repro.lifetime import (
+    FixedDurations,
+    LifetimeConfig,
+    default_processes,
+    run_lifetime,
+)
+from repro.obs import MetricsRegistry, TimeSeriesDB
+from repro.obs.tracer import Tracer
+
+SMALL = LifetimeConfig(
+    years=2, runs=3, seed=11, schemes=("pivot", "conventional"),
+    stripes=16, disk_mttf_days=30.0, repair_streams=1,
+)
+
+# Fixed analytic durations keep these tests independent of the fluid
+# simulator while preserving the pivot-vs-conventional contrast.
+DURATIONS = FixedDurations({"pivot": 3600.0, "conventional": 4 * 3600.0})
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_lifetime(SMALL, durations=DURATIONS)
+
+
+class TestDeterminism:
+    def test_digest_is_reproducible(self, report):
+        again = run_lifetime(SMALL, durations=DURATIONS)
+        assert again.digest == report.digest
+        for scheme in SMALL.schemes:
+            assert (
+                again.schemes[scheme].runs == report.schemes[scheme].runs
+            )
+
+    def test_different_seed_changes_digest(self, report):
+        other = run_lifetime(
+            LifetimeConfig(**{**SMALL.to_dict(), "seed": 12}),
+            durations=DURATIONS,
+        )
+        assert other.digest != report.digest
+
+
+class TestPairedDesign:
+    def test_equal_speed_schemes_are_bit_identical(self):
+        # The outage timeline is scheme-independent, so two schemes that
+        # repair at the same fixed speed must produce identical runs —
+        # any daylight between them would mean the failure history leaks
+        # scheme state.
+        report = run_lifetime(SMALL, durations=FixedDurations(3600.0))
+        pivot = report.schemes["pivot"].runs
+        conventional = report.schemes["conventional"].runs
+        assert pivot == conventional
+        assert sum(r["chunk_failures"] for r in pivot) > 0
+
+    def test_scheme_subset_is_stable(self, report):
+        # Dropping a scheme must not perturb the remaining scheme's
+        # stream (failure schedules and repair draws are per-scheme).
+        solo = run_lifetime(
+            LifetimeConfig(**{**SMALL.to_dict(), "schemes": ("pivot",)}),
+            durations=DURATIONS,
+        )
+        assert solo.schemes["pivot"].runs == report.schemes["pivot"].runs
+
+
+class TestSummary:
+    def test_slower_repairs_never_lose_less(self, report):
+        pivot = report.schemes["pivot"].total_losses
+        conventional = report.schemes["conventional"].total_losses
+        assert conventional >= pivot
+
+    def test_ci_brackets_mean(self, report):
+        for summary in report.schemes.values():
+            low, high = summary.loss_ci95
+            assert low <= summary.mean_losses <= high
+
+    def test_loss_free_scheme_reports_infinite_mttdl(self):
+        # Only transient machine outages: nothing is ever destroyed.
+        loss_free = run_lifetime(
+            LifetimeConfig(
+                years=1, runs=2, seed=1, schemes=("pivot",),
+                stripes=2, disk_mttf_days=0.0, machine_mttf_days=30.0,
+                rack_mttf_days=0.0,
+            ),
+            durations=FixedDurations({"pivot": 60.0}),
+        )
+        summary = loss_free.schemes["pivot"]
+        assert summary.total_losses == 0
+        assert math.isinf(summary.mttdl_years(1.0))
+        assert math.isinf(summary.durability_nines(1.0, 2))
+        payload = loss_free.summary()["schemes"]["pivot"]
+        assert payload["mttdl_years"] is None
+        assert payload["durability_nines"] is None
+
+    def test_summary_payload_shape(self, report):
+        payload = report.summary()
+        assert payload["digest"] == report.digest
+        assert payload["config"]["seed"] == 11
+        for scheme in SMALL.schemes:
+            entry = payload["schemes"][scheme]
+            assert entry["total_data_loss_events"] >= 0
+            assert len(entry["loss_ci95"]) == 2
+
+
+class TestArtifactsAndObservability:
+    def test_jsonl_artifact(self, tmp_path, report):
+        path = tmp_path / "lifetime.jsonl"
+        report.write_jsonl(path)
+        lines = [
+            json.loads(line)
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert lines[0]["kind"] == "summary"
+        runs = [line for line in lines if line["kind"] == "run"]
+        assert len(runs) == SMALL.runs * len(SMALL.schemes)
+        assert {r["scheme"] for r in runs} == set(SMALL.schemes)
+
+    def test_registry_and_tsdb_and_tracer(self):
+        registry = MetricsRegistry()
+        tsdb = TimeSeriesDB()
+        tracer = Tracer()
+        report = run_lifetime(
+            SMALL, durations=DURATIONS, registry=registry, tsdb=tsdb,
+            tracer=tracer,
+        )
+        families = registry.snapshot()["families"]
+        assert "lifetime_data_loss_events_total" in families
+        assert "lifetime_repairs_completed_total" in families
+        losses = report.schemes["conventional"].total_losses
+        if losses:
+            assert "lifetime_mttdl_years" in families
+            assert len(tsdb) > 0
+        names = {event.name for event in tracer.events}
+        assert "lifetime.run" in names
+        if losses:
+            assert "lifetime.loss" in names
+
+
+class TestConfigValidation:
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(LifetimeError):
+            LifetimeConfig(schemes=("pivot", "raid"))
+
+    def test_rejects_small_cluster(self):
+        with pytest.raises(LifetimeError):
+            LifetimeConfig(machines=4, n=6, k=4)
+
+    def test_rejects_all_layers_disabled(self):
+        config = LifetimeConfig(
+            disk_mttf_days=0.0, machine_mttf_days=0.0, rack_mttf_days=0.0
+        )
+        with pytest.raises(LifetimeError):
+            default_processes(config)
+
+    def test_duration_scale(self):
+        config = LifetimeConfig(data_per_chunk_gib=64.0)
+        assert config.duration_scale == pytest.approx(1024.0)
+
+    def test_horizon(self):
+        config = LifetimeConfig(years=2.0)
+        assert config.horizon == pytest.approx(2 * 365 * 86_400.0)

@@ -1,0 +1,85 @@
+"""Golden MTTDL regression: simulator vs closed-form Markov chain.
+
+With exponential disk failures (zero replacement time), exponential
+repair durations, one stripe, and one repair stream, the lifetime
+simulator *is* the classic birth-death reliability chain — so its
+Monte-Carlo MTTDL must converge to the linear-algebra solution.
+"""
+
+import math
+
+import pytest
+
+from repro.exceptions import LifetimeError
+from repro.lifetime import (
+    DAY,
+    ExponentialDurations,
+    LifetimeConfig,
+    markov_mttdl,
+    run_lifetime,
+)
+
+
+class TestClosedForm:
+    def test_mirrored_replication_special_case(self):
+        # n=2, k=1 (mirroring): the 2-disk chain has the textbook
+        # solution MTTDL = (3λ + μ) / (2λ²).
+        lam, mu = 1 / (100 * DAY), 1 / DAY
+        expected = (3 * lam + mu) / (2 * lam * lam)
+        assert markov_mttdl(2, 1, lam, mu) == pytest.approx(expected)
+
+    def test_faster_repair_extends_mttdl(self):
+        lam = 1 / (50 * DAY)
+        slow = markov_mttdl(6, 4, lam, 1 / DAY)
+        fast = markov_mttdl(6, 4, lam, 4 / DAY)
+        assert fast > slow * 3
+
+    def test_more_parity_extends_mttdl(self):
+        lam, mu = 1 / (50 * DAY), 1 / DAY
+        assert markov_mttdl(9, 6, lam, mu) > markov_mttdl(8, 6, lam, mu)
+
+    def test_more_streams_extend_mttdl(self):
+        lam, mu = 1 / (10 * DAY), 1 / (2 * DAY)
+        one = markov_mttdl(9, 6, lam, mu, repair_streams=1)
+        three = markov_mttdl(9, 6, lam, mu, repair_streams=3)
+        assert three > one
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(LifetimeError):
+            markov_mttdl(4, 4, 1.0, 1.0)
+        with pytest.raises(LifetimeError):
+            markov_mttdl(4, 2, 0.0, 1.0)
+
+
+class TestGoldenRegression:
+    def test_simulator_matches_markov_chain(self):
+        # (4, 2), disk MTTF 10 days, repair mean 1 day, one stream: the
+        # exact chain gives MTTDL = 77.5 days.  40 runs x 20 years
+        # observe ~3900 losses (SE ~ 1.6%); 10% tolerance is ~6 sigma.
+        mttf, repair_mean = 10 * DAY, DAY
+        config = LifetimeConfig(
+            years=20, runs=40, seed=7, schemes=("pivot",),
+            machines=4, racks=1, disks_per_machine=1, stripes=1,
+            n=4, k=2,
+            disk_mttf_days=10.0, disk_replace_hours=0.0,
+            machine_mttf_days=0.0, rack_mttf_days=0.0,
+            repair_streams=1,
+        )
+        report = run_lifetime(
+            config,
+            durations=ExponentialDurations({"pivot": repair_mean}),
+        )
+        losses = report.schemes["pivot"].total_losses
+        assert losses > 1000
+        simulated = config.runs * config.horizon / losses
+        exact = markov_mttdl(4, 2, 1 / mttf, 1 / repair_mean)
+        assert simulated == pytest.approx(exact, rel=0.10)
+        # The summary helpers agree with the raw estimate.
+        mttdl_years = report.schemes["pivot"].mttdl_years(config.years)
+        assert mttdl_years * 365.0 == pytest.approx(simulated / DAY, rel=1e-9)
+        nines = report.schemes["pivot"].durability_nines(
+            config.years, config.stripes
+        )
+        assert nines == pytest.approx(
+            -math.log10(losses / (config.runs * config.years)), rel=1e-9
+        )

@@ -576,3 +576,76 @@ class TestTopCommand:
         capsys.readouterr()
         assert main(["top", str(saved), "--once"]) != 0
         assert "pass an .npz workload trace" in capsys.readouterr().err
+
+
+class TestLifetimeCommand:
+    # Analytic durations + tiny run: fast, no fluid-sim calibration.
+    FAST = [
+        "--years", "1", "--runs", "2", "--seed", "11", "--stripes", "8",
+        "--disk-mttf-days", "30", "--repair-streams", "1",
+        "--durations", "fixed", "--mean-repair-hours", "2",
+    ]
+
+    def test_json_payload(self, capsys):
+        code = main(["--json", "lifetime", *self.FAST])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["config"]["runs"] == 2
+        assert set(payload["schemes"]) == {"pivot", "conventional"}
+        assert len(payload["digest"]) == 64
+        comparison = payload["comparison"]
+        assert set(comparison) >= {
+            "pivot_losses", "conventional_losses", "pivot_strictly_fewer",
+        }
+
+    def test_text_table(self, capsys):
+        code = main(["lifetime", *self.FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster lifetime: 2 runs x 1 simulated years" in out
+        assert "MTTDL (y)" in out
+        assert "digest:" in out
+        assert "PivotRepair:" in out
+
+    def test_deterministic_digest(self, capsys):
+        assert main(["--json", "lifetime", *self.FAST]) == 0
+        first = json.loads(capsys.readouterr().out)["digest"]
+        assert main(["--json", "lifetime", *self.FAST]) == 0
+        second = json.loads(capsys.readouterr().out)["digest"]
+        assert first == second
+
+    def test_artifacts(self, tmp_path, capsys):
+        out = tmp_path / "lifetime.jsonl"
+        tsdb_out = tmp_path / "tsdb.jsonl"
+        code = main(
+            ["--json", "lifetime", *self.FAST,
+             "--out", str(out), "--tsdb-out", str(tsdb_out)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        lines = [json.loads(l) for l in out.read_text().strip().splitlines()]
+        assert lines[0]["kind"] == "summary"
+        assert sum(1 for l in lines if l["kind"] == "run") == 4
+        assert tsdb_out.exists()
+
+    def test_single_scheme_skips_comparison(self, capsys):
+        code = main(
+            ["--json", "lifetime", *self.FAST, "--schemes", "pivot"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "comparison" not in payload
+        assert set(payload["schemes"]) == {"pivot"}
+
+    def test_metrics_flag_includes_telemetry(self, capsys):
+        code = main(["--json", "--metrics", "lifetime", *self.FAST])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "lifetime_data_loss_events_total" in (
+            payload["telemetry"]["families"]
+        )
+
+    def test_bad_scheme_is_a_clean_error(self, capsys):
+        code = main(["lifetime", *self.FAST, "--schemes", "raid5"])
+        assert code == 1
+        assert "unknown scheme" in capsys.readouterr().err
