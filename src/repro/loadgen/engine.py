@@ -220,6 +220,16 @@ class ForegroundEngine:
         else:
             self._submit_write(request, arrival, now)
 
+    def _flow_meta(self, request: ClientRequest) -> dict | None:
+        """Tenant tag on traced foreground flow spans.
+
+        Critical-path analysis uses it to attribute repair slowdown
+        seconds to the tenants whose traffic contended for the links.
+        """
+        if not self.sim.tracer.enabled:
+            return None
+        return {"tenant": request.tenant}
+
     def _submit_read(
         self, request: ClientRequest, arrival: float, now: float
     ) -> None:
@@ -234,6 +244,7 @@ class ForegroundEngine:
                 [(holder, request.client, float(request.size))],
                 label=f"fg-read-s{request.stripe_id}",
                 kind=FOREGROUND,
+                meta=self._flow_meta(request),
             )
             self._pending[handle.task_id] = (request, arrival, False)
             return
@@ -266,6 +277,7 @@ class ForegroundEngine:
             float(request.size),
             label=f"fg-dread-s{request.stripe_id}",
             kind=FOREGROUND,
+            meta=self._flow_meta(request),
         )
         self.registry.counter("fg_degraded_reads").inc()
         self._pending[handle.task_id] = (request, arrival, True)
@@ -294,7 +306,8 @@ class ForegroundEngine:
             self._finish_local(request, arrival, now)
             return
         handle = self.sim.submit_bulk(
-            transfers, label=f"fg-write-s{request.stripe_id}", kind=FOREGROUND
+            transfers, label=f"fg-write-s{request.stripe_id}",
+            kind=FOREGROUND, meta=self._flow_meta(request),
         )
         self._pending[handle.task_id] = (request, arrival, False)
 

@@ -228,6 +228,11 @@ class IncrementalEngine:
         #: ``solved_entities / (solves * len(entities))`` ≪ 1 is the
         #: incremental win becoming visible.
         self.solved_entities: int = 0
+        #: Entity ids whose rate actually *moved* in the most recent
+        #: :meth:`ensure` solve (most of a component keeps its exact
+        #: rate).  Only their tasks can have changed aggregates, so a
+        #: tracer need not rescan every live task after a solve.
+        self.last_changed: list[int] = []
 
     # -- registration --------------------------------------------------
     def add_entity(self, entity_id: int, entity) -> None:
@@ -290,6 +295,7 @@ class IncrementalEngine:
             return False
         component = self._closure()
         if component:
+            self.last_changed = []
             self._solve(sorted(component))
             return True
         return False
@@ -398,7 +404,11 @@ class IncrementalEngine:
             np.asarray(caps),
         )
         for entity_id, rate in zip(entity_ids, rates):
-            self._entities[entity_id].rate = float(rate)
+            rate = float(rate)
+            entity = self._entities[entity_id]
+            if entity.rate != rate:
+                entity.rate = rate
+                self.last_changed.append(entity_id)
         self.solves += 1
         self.solved_entities += len(entity_ids)
 
@@ -415,7 +425,9 @@ class IncrementalEngine:
         cols = self._entity_cols[entity_id]
         max_rate = entity.max_rate
         if not cols or (max_rate is not None and max_rate <= 0):
-            entity.rate = 0.0
+            if entity.rate != 0.0:
+                entity.rate = 0.0
+                self.last_changed.append(entity_id)
             return
         level = math.inf
         for col, coeff in zip(cols, self._entity_coeffs[entity_id]):
@@ -426,7 +438,10 @@ class IncrementalEngine:
             level = max_rate
         if not math.isfinite(level):
             raise SimulationError("unconstrained task in max-min allocation")
-        entity.rate = level if level > 0.0 else 0.0
+        rate = level if level > 0.0 else 0.0
+        if entity.rate != rate:
+            entity.rate = rate
+            self.last_changed.append(entity_id)
 
     def _solve_small(self, entity_ids: list[int]) -> None:
         """Small component: the Python reference loop on dict inputs."""
@@ -442,5 +457,7 @@ class IncrementalEngine:
             capacities,
             rate_caps=[entity.max_rate for entity in entities],
         )
-        for entity, rate in zip(entities, rates):
-            entity.rate = rate
+        for entity_id, entity, rate in zip(entity_ids, entities, rates):
+            if entity.rate != rate:
+                entity.rate = rate
+                self.last_changed.append(entity_id)

@@ -175,6 +175,19 @@ class FluidSimulator:
         self._task_tracks: dict[int, str] = {}
         self._task_spans: dict[int, int] = {}
         self._task_rates: dict[int, float] = {}
+        #: Traffic classes whose per-reallocation ``flow.rate_change``
+        #: instants are *not* traced.  Foreground flows are short and
+        #: numerous, and no analysis reads their instantaneous rates
+        #: (``diagnose`` attributes repair/hedge flows only; tenant
+        #: blame uses their spans; the flight recorder samples their
+        #: aggregate) — tracing every max-min re-split they trigger
+        #: roughly doubles tracing's event volume for nothing.  Set to
+        #: ``frozenset()`` for full fidelity.
+        self.rate_trace_exclude: frozenset[str] = frozenset({"foreground"})
+        #: Tasks whose aggregate may have moved without any surviving
+        #: entity being re-rated (a bulk sibling finished); consumed by
+        #: the next restricted :meth:`_trace_rate_changes` scan.
+        self._trace_dirty_tasks: set[int] = set()
         self._rates_valid = False
 
     @property
@@ -192,6 +205,9 @@ class FluidSimulator:
         label: str = "",
         max_rate: float | None = None,
         kind: str = "repair",
+        parent_id: int | None = None,
+        links: tuple[int, ...] = (),
+        meta: dict | None = None,
     ) -> TaskHandle:
         """Submit a pipelined task: all edges share one rate.
 
@@ -199,6 +215,9 @@ class FluidSimulator:
         tree, the chunk size plus pipeline fill overhead).  ``max_rate``
         throttles the pipeline (production systems rate-limit repair).
         ``kind`` is the traffic class the bytes are accounted under.
+        ``parent_id`` / ``links`` attach the traced flow span to its
+        causal parent and *follows-from* predecessors; ``meta`` adds
+        caller fields (tenant, stripe, claimed bmin …) to the span.
         """
         if not edges:
             raise SimulationError("a pipelined task needs at least one edge")
@@ -220,6 +239,7 @@ class FluidSimulator:
             self._trace_submit(
                 handle, list(edges), shape="pipelined",
                 bytes_total=float(bytes_per_edge) * len(edges),
+                parent_id=parent_id, links=links, meta=meta,
             )
         return handle
 
@@ -229,12 +249,16 @@ class FluidSimulator:
         label: str = "",
         max_rate: float | None = None,
         kind: str = "repair",
+        parent_id: int | None = None,
+        links: tuple[int, ...] = (),
+        meta: dict | None = None,
     ) -> TaskHandle:
         """Submit independent flows (src, dst, bytes); done when all finish.
 
         ``max_rate`` caps each flow individually (e.g. replayed foreground
         traffic running at its recorded intensity).  ``kind`` is the
-        traffic class the bytes are accounted under.
+        traffic class the bytes are accounted under.  ``parent_id`` /
+        ``links`` / ``meta`` behave as in :meth:`submit_pipelined`.
         """
         if not transfers:
             raise SimulationError("a bulk task needs at least one transfer")
@@ -261,6 +285,7 @@ class FluidSimulator:
                 handle, [(src, dst) for src, dst, _ in transfers],
                 shape="bulk",
                 bytes_total=float(sum(size for _, _, size in transfers)),
+                parent_id=parent_id, links=links, meta=meta,
             )
         return handle
 
@@ -270,6 +295,9 @@ class FluidSimulator:
         edges: list[tuple[int, int]],
         shape: str,
         bytes_total: float,
+        parent_id: int | None = None,
+        links: tuple[int, ...] = (),
+        meta: dict | None = None,
     ) -> None:
         """Open a span for the task on its sink node's track.
 
@@ -278,27 +306,34 @@ class FluidSimulator:
         stay visually and programmatically distinguishable in timelines
         and trace exports.
         """
-        sources = {src for src, _ in edges}
-        sinks = {dst for _, dst in edges if dst not in sources}
         prefix = "node" if handle.kind == "repair" else handle.kind
-        track = f"{prefix}:{min(sinks)}" if sinks else "sim"
+        if len(edges) == 1:
+            src, dst = edges[0]
+            track = f"{prefix}:{dst}" if dst != src else "sim"
+        else:
+            sources = {src for src, _ in edges}
+            sinks = {dst for _, dst in edges if dst not in sources}
+            track = f"{prefix}:{min(sinks)}" if sinks else "sim"
         self._task_tracks[handle.task_id] = track
-        self._task_spans[handle.task_id] = self.tracer.begin(
+        # The begin event carries the whole submit payload; a separate
+        # ``flow.submit`` instant would duplicate every field and double
+        # the per-submission emission cost for nothing (no consumer ever
+        # keyed on it).
+        span_id = self.tracer.begin(
             "flow",
             t=self.now,
             track=track,
+            parent_id=parent_id,
+            links=links,
             label=handle.label,
             task=handle.task_id,
             shape=shape,
             kind=handle.kind,
-            edges=[list(edge) for edge in edges],
+            edges=edges,
             bytes_total=bytes_total,
+            **(meta or {}),
         )
-        self.tracer.instant(
-            "flow.submit", t=self.now, track=track,
-            label=handle.label, task=handle.task_id,
-            edges=len(edges), kind=handle.kind,
-        )
+        self._task_spans[handle.task_id] = span_id
 
     def _usage_of(self, edges) -> dict:
         """Aggregate topology resource usage of a set of edges."""
@@ -350,6 +385,15 @@ class FluidSimulator:
         self._ensure_rates()
         ids = self._task_entities.get(handle.task_id, set())
         return sum(self._entities[i].rate for i in ids)
+
+    def task_span(self, handle: TaskHandle) -> int | None:
+        """Trace span id of a live task's flow span (None untraced/done).
+
+        Lets orchestrators record causal ``follows_from`` links from a
+        flow that is being cancelled or raced to its successor (re-plan,
+        journal resume, hedge) before the span is closed.
+        """
+        return self._task_spans.get(handle.task_id)
 
     def task_progress(self, handle: TaskHandle) -> float:
         """Fraction of the task's submitted bytes carried so far.
@@ -457,7 +501,7 @@ class FluidSimulator:
             self._task_rates.pop(handle.task_id, None)
             span_id = self._task_spans.pop(handle.task_id, None)
             self.tracer.instant(
-                "flow.cancel", t=self.now, track=track,
+                "flow.cancel", t=self.now, track=track, parent_id=span_id,
                 label=handle.label, task=handle.task_id,
                 bytes_remaining=remaining,
             )
@@ -584,6 +628,11 @@ class FluidSimulator:
                 self._engine.remove_entity(entity_id)
             members = self._task_entities[entity.task_id]
             members.discard(entity_id)
+            if members and self.tracer.enabled:
+                # The task lives on with one transfer fewer: its
+                # aggregate rate dropped even if no surviving entity is
+                # re-rated, so the next restricted scan must visit it.
+                self._trace_dirty_tasks.add(entity.task_id)
             if not members:
                 handle = self._handles[entity.task_id]
                 handle.finish_time = self.now
@@ -596,14 +645,17 @@ class FluidSimulator:
                     )
                     self._task_rates.pop(entity.task_id, None)
                     span_id = self._task_spans.pop(entity.task_id, None)
-                    self.tracer.instant(
-                        "flow.finish", t=self.now, track=track,
-                        label=handle.label, task=entity.task_id,
-                        duration=handle.finish_time - handle.submit_time,
-                    )
+                    # The span end doubles as the finish record (label,
+                    # task, duration ride on it) — a separate
+                    # ``flow.finish`` instant would double the emission
+                    # cost of every completion.
                     if span_id is not None:
                         self.tracer.end(
-                            "flow", t=self.now, span_id=span_id, track=track
+                            "flow", t=self.now, span_id=span_id,
+                            track=track, label=handle.label,
+                            task=entity.task_id,
+                            duration=handle.finish_time
+                            - handle.submit_time,
                         )
         return completed
 
@@ -618,7 +670,11 @@ class FluidSimulator:
             if self._engine.ensure(self.now):
                 self.stats.rate_recomputations += 1
                 if self.tracer.enabled and self._entities:
-                    self._trace_rate_changes()
+                    # Only entities the solve actually moved can change a
+                    # task's aggregate; rescanning every live task here
+                    # turns tracing into an O(tasks) tax per
+                    # recomputation.
+                    self._trace_rate_changes(self._engine.last_changed)
             self._rates_valid = True
             return
         entities = list(self._entities.values())
@@ -635,20 +691,51 @@ class FluidSimulator:
         if self.tracer.enabled and entities:
             self._trace_rate_changes()
 
-    def _trace_rate_changes(self) -> None:
-        """Emit ``flow.rate_change`` for tasks whose aggregate rate moved."""
-        for task_id, entity_ids in self._task_entities.items():
+    def _trace_rate_changes(self, solved=None) -> None:
+        """Emit ``flow.rate_change`` for tasks whose aggregate rate moved.
+
+        ``solved`` narrows the scan to the tasks owning those entity ids
+        (the incremental engine's last-solved component) — everything
+        else kept its rate by construction.  Task ids are assigned from
+        a monotonic counter, so iterating them sorted reproduces the
+        full scan's insertion order and the emitted event stream stays
+        byte-identical with the reference engine's.
+        """
+        entities = self._entities
+        task_entities = self._task_entities
+        task_rates = self._task_rates
+        if solved is None:
+            task_ids = task_entities
+            self._trace_dirty_tasks.clear()
+        else:
+            seen = self._trace_dirty_tasks
+            for entity_id in solved:
+                entity = entities.get(entity_id)
+                if entity is not None:
+                    seen.add(entity.task_id)
+            task_ids = sorted(seen) if len(seen) > 1 else tuple(seen)
+            self._trace_dirty_tasks = set()
+        emit = self.tracer.instant
+        exclude = self.rate_trace_exclude
+        handles = self._handles
+        for task_id in task_ids:
+            entity_ids = task_entities.get(task_id)
             if not entity_ids:
                 continue
-            rate = sum(self._entities[i].rate for i in entity_ids)
-            previous = self._task_rates.get(task_id)
+            if exclude and handles[task_id].kind in exclude:
+                continue
+            rate = 0.0
+            for entity_id in entity_ids:
+                rate += entities[entity_id].rate
+            previous = task_rates.get(task_id)
             if previous is not None and abs(rate - previous) <= 1e-9:
                 continue
-            self._task_rates[task_id] = rate
-            self.tracer.instant(
+            task_rates[task_id] = rate
+            emit(
                 "flow.rate_change",
                 t=self.now,
                 track=self._task_tracks.get(task_id, "sim"),
+                parent_id=self._task_spans.get(task_id),
                 label=self._handles[task_id].label,
                 task=task_id,
                 rate=rate,

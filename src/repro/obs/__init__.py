@@ -25,6 +25,11 @@ On top of those, run analysis:
 * :mod:`repro.obs.analysis` — **bottleneck attribution**: decompose each
   repair's wall time into ideal / contention / governor / stall against
   an oracle ``B_min``, with invariant checks (``repro explain``);
+* :mod:`repro.obs.critpath` — **causal critical paths**: rebuild the
+  span DAG from ``parent_id``/``links``, recover the exact chain of
+  intervals bounding each repair's makespan (tiling checked to 1e-9),
+  and attribute its seconds per category and per tenant
+  (``repro critpath``);
 * :mod:`repro.obs.report` — a self-contained single-file HTML dashboard
   for a diagnosed run (``repro report --html``).
 
@@ -47,6 +52,13 @@ from repro.obs.analysis import (
     RepairDiagnosis,
     RunDiagnosis,
     diagnose,
+)
+from repro.obs.critpath import (
+    CritPathReport,
+    PathSegment,
+    RepairPath,
+    critical_paths,
+    crosscheck,
 )
 from repro.obs.export import (
     events_from_jsonl,
@@ -73,6 +85,7 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, TraceEvent, Tracer
 __all__ = [
     "BottleneckLink",
     "Counter",
+    "CritPathReport",
     "Dashboard",
     "FlightRecorder",
     "Gauge",
@@ -81,7 +94,9 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PathSegment",
     "RepairDiagnosis",
+    "RepairPath",
     "RunDiagnosis",
     "SLOAlert",
     "SLOMonitor",
@@ -92,6 +107,8 @@ __all__ = [
     "TimeSeriesDB",
     "TraceEvent",
     "Tracer",
+    "critical_paths",
+    "crosscheck",
     "diagnose",
     "events_from_jsonl",
     "prometheus_lint",

@@ -391,11 +391,20 @@ def _digest_flows(events) -> list[_Flow]:
             flow = open_flows.get(_flow_key(event))
             if flow is not None:
                 flow.rates.append((event.t, float(event.fields["rate"])))
-        elif event.name in ("flow.finish", "flow.cancel"):
+        elif (
+            event.name in ("flow.finish", "flow.cancel")
+            or (event.name == "flow" and event.kind == "end")
+        ):
+            # Completion rides on the span end event ("flow.finish" is
+            # the legacy instant, still honoured for saved traces); the
+            # cancel instant precedes its span end, so the later end
+            # pops nothing and cannot clobber the cancelled flag.
             flow = open_flows.pop(_flow_key(event), None)
             if flow is not None:
                 flow.finish = event.t
-                flow.cancelled = event.name == "flow.cancel"
+                flow.cancelled = event.name == "flow.cancel" or bool(
+                    event.fields.get("cancelled", False)
+                )
     return flows
 
 

@@ -8,7 +8,9 @@
   ``chrome://tracing`` and Perfetto.  Simulated seconds map to trace
   microseconds; every tracer track becomes one named thread (node tracks
   first, then planner/scheduler/etc.), spans become complete (``X``)
-  events and instants become ``i`` events.
+  events, instants become ``i`` events, and causal links
+  (``parent_id`` / ``links`` / ``span.link``) become flow arrow
+  (``s``/``f``) pairs so Perfetto draws the span DAG.
 """
 
 from __future__ import annotations
@@ -61,6 +63,8 @@ def events_from_jsonl(text: str) -> list[TraceEvent]:
                 span_id=raw.get("span_id"),
                 wall=raw.get("wall"),
                 fields=raw.get("fields", {}),
+                parent_id=raw.get("parent_id"),
+                links=tuple(raw.get("links", ())),
             )
         )
     return events
@@ -149,6 +153,7 @@ def to_chrome_trace(
         trace_events.append(
             _instant(begin.name, begin.t * 1e6, tids[track], begin.fields)
         )
+    trace_events.extend(_flow_arrows(events, tids))
     for sample in samples:
         trace_events.extend(_counters(sample))
     trace_events.extend(_family_counters(registry, events, samples))
@@ -157,6 +162,62 @@ def to_chrome_trace(
         "displayTimeUnit": "ms",
         "otherData": {"source": "repro.obs", "time_unit": "sim-seconds"},
     }
+
+
+def _flow_arrows(
+    events: Sequence[TraceEvent], tids: dict[str, int]
+) -> list[dict]:
+    """Chrome flow (arrow) events for the causal links in a trace.
+
+    Each causal edge becomes a matched ``ph: "s"`` (start, on the source
+    span's track, clamped into its interval so Perfetto can bind it to
+    the enclosing slice) / ``ph: "f"`` (finish, ``bp: "e"``, at the
+    destination's begin) pair sharing a unique ``id``.  Three edge kinds
+    are rendered: span → child-span nesting (``parent_id``),
+    *follows-from* links recorded at ``begin`` time (``links``), and
+    late links recorded by ``span.link`` instants (e.g. hedge adoption).
+    """
+    spans: dict[int, tuple[str, float, float]] = {}
+    for event in events:
+        if event.kind == "begin" and event.span_id is not None:
+            spans[event.span_id] = (event.track, event.t, event.t)
+        elif event.kind == "end" and event.span_id in spans:
+            track, begin_t, _ = spans[event.span_id]
+            spans[event.span_id] = (track, begin_t, event.t)
+
+    out: list[dict] = []
+    link_id = 0
+
+    def arrow(name: str, src_span: int, dst_t: float, dst_track: str):
+        nonlocal link_id
+        source = spans.get(src_span)
+        if source is None or dst_track not in tids:
+            return
+        src_track, src_begin, src_end = source
+        link_id += 1
+        src_ts = min(max(dst_t, src_begin), src_end) * 1e6
+        common = {"cat": "causal", "name": name, "pid": TRACE_PID}
+        out.append(
+            {**common, "ph": "s", "id": link_id, "ts": src_ts,
+             "tid": tids[src_track]}
+        )
+        out.append(
+            {**common, "ph": "f", "bp": "e", "id": link_id,
+             "ts": dst_t * 1e6, "tid": tids[dst_track]}
+        )
+
+    for event in events:
+        if event.kind == "begin":
+            if event.parent_id is not None:
+                arrow("causal.parent", event.parent_id, event.t, event.track)
+            for src in event.links:
+                arrow("causal.follows", src, event.t, event.track)
+        elif event.kind == "instant" and event.name == "span.link":
+            src = event.fields.get("from_span")
+            dst = event.fields.get("to_span")
+            if src in spans and dst in spans:
+                arrow("causal.link", src, event.t, spans[dst][0])
+    return out
 
 
 def _counters(sample) -> list[dict]:

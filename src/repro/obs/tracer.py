@@ -16,20 +16,40 @@ formats an event.  With a real :class:`Tracer`, each site records a
 
 Spans are begin/end pairs matched by ``(track, span_id)``; exporters pair
 them back into intervals.
+
+Causality is first-class: a ``begin`` (or ``instant``) may carry a
+``parent_id`` — the span it is causally nested under, possibly on a
+*different* track — and ``links``, a tuple of span ids it
+*follows from* (completed or concurrent work that enabled it, e.g. the
+planning span a transfer waits on, or the primary attempt a hedge
+races).  Span ids are unique per tracer, so the pair graph doubles as a
+span DAG; :mod:`repro.obs.critpath` reconstructs it to compute exact
+per-repair critical paths, and the Chrome exporter renders links as
+flow arrows.  ``Tracer.scope`` pushes an ambient parent so that deeply
+nested emission sites inherit causal context without threading an
+extra argument through every call.
 """
 
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
 __all__ = ["TraceEvent", "Tracer", "NullTracer", "NULL_TRACER"]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class TraceEvent:
-    """One structured trace event."""
+    """One structured trace event.
+
+    Treated as write-once: nothing mutates an event after emission.
+    The class is deliberately *not* frozen — emission sits on the
+    simulator's hottest path, and a frozen dataclass pays
+    ``object.__setattr__`` per field (~4x the construction cost), which
+    is exactly the overhead the bench harness gates at 5%.
+    """
 
     name: str
     kind: str  # "instant" | "begin" | "end"
@@ -38,6 +58,10 @@ class TraceEvent:
     span_id: int | None = None
     wall: float | None = None
     fields: dict[str, Any] = field(default_factory=dict)
+    #: Causal parent span (may live on another track).
+    parent_id: int | None = None
+    #: Spans this event *follows from* (cross-track causal links).
+    links: tuple[int, ...] = ()
 
     def to_dict(self, include_wall: bool = False) -> dict[str, Any]:
         """Plain-dict form (JSONL line payload), deterministic by default."""
@@ -49,6 +73,10 @@ class TraceEvent:
         }
         if self.span_id is not None:
             payload["span_id"] = self.span_id
+        if self.parent_id is not None:
+            payload["parent_id"] = self.parent_id
+        if self.links:
+            payload["links"] = list(self.links)
         if include_wall and self.wall is not None:
             payload["wall"] = self.wall
         if self.fields:
@@ -65,6 +93,7 @@ class Tracer:
         self.events: list[TraceEvent] = []
         self.record_wall = record_wall
         self._span_ids = 0
+        self._scope: list[int] = []
 
     def __len__(self) -> int:
         return len(self.events)
@@ -72,26 +101,94 @@ class Tracer:
     def _wall(self) -> float | None:
         return time.perf_counter() if self.record_wall else None
 
-    def instant(self, name: str, t: float, track: str = "sim", **fields) -> None:
+    @property
+    def current_parent(self) -> int | None:
+        """Innermost ambient parent span pushed with :meth:`scope`."""
+        return self._scope[-1] if self._scope else None
+
+    @contextmanager
+    def scope(self, span_id: int):
+        """Make ``span_id`` the ambient causal parent inside the block.
+
+        Emission sites that do not pass an explicit ``parent_id``
+        inherit the innermost scoped span, so orchestrators can wrap a
+        whole submit path in one ``with tracer.scope(span):``.
+        """
+        self._scope.append(span_id)
+        try:
+            yield span_id
+        finally:
+            self._scope.pop()
+
+    def instant(
+        self,
+        name: str,
+        t: float,
+        track: str = "sim",
+        parent_id: int | None = None,
+        **fields,
+    ) -> None:
         """Record a point event at simulated time ``t``."""
+        # Hot path: helpers (_wall, current_parent) are inlined — a
+        # traced run emits tens of thousands of instants.
+        if parent_id is None and self._scope:
+            parent_id = self._scope[-1]
         self.events.append(
             TraceEvent(
                 name=name, kind="instant", t=float(t), track=track,
-                wall=self._wall(), fields=fields,
+                wall=time.perf_counter() if self.record_wall else None,
+                fields=fields, parent_id=parent_id,
             )
         )
 
-    def begin(self, name: str, t: float, track: str = "sim", **fields) -> int:
-        """Open a span; returns the span id to pass to :meth:`end`."""
+    def begin(
+        self,
+        name: str,
+        t: float,
+        track: str = "sim",
+        parent_id: int | None = None,
+        links: tuple[int, ...] = (),
+        **fields,
+    ) -> int:
+        """Open a span; returns the span id to pass to :meth:`end`.
+
+        ``parent_id`` nests the span under a causal parent (defaulting
+        to the ambient :meth:`scope` parent); ``links`` records
+        *follows-from* edges to spans whose completion (or progress)
+        enabled this one.
+        """
         self._span_ids += 1
         span_id = self._span_ids
+        if parent_id is None and self._scope:
+            parent_id = self._scope[-1]
         self.events.append(
             TraceEvent(
                 name=name, kind="begin", t=float(t), track=track,
-                span_id=span_id, wall=self._wall(), fields=fields,
+                span_id=span_id,
+                wall=time.perf_counter() if self.record_wall else None,
+                fields=fields, parent_id=parent_id,
+                links=tuple(links),
             )
         )
         return span_id
+
+    def link(
+        self,
+        from_span: int,
+        to_span: int,
+        t: float,
+        track: str = "sim",
+        **fields,
+    ) -> None:
+        """Record a causal ``follows_from`` edge established *after* the
+        target span began (e.g. a hedge being adopted as the winner)."""
+        self.events.append(
+            TraceEvent(
+                name="span.link", kind="instant", t=float(t), track=track,
+                wall=self._wall(), parent_id=to_span,
+                fields={"from_span": from_span, "to_span": to_span, **fields},
+            )
+        )
 
     def end(
         self, name: str, t: float, span_id: int, track: str = "sim", **fields
@@ -100,7 +197,9 @@ class Tracer:
         self.events.append(
             TraceEvent(
                 name=name, kind="end", t=float(t), track=track,
-                span_id=span_id, wall=self._wall(), fields=fields,
+                span_id=span_id,
+                wall=time.perf_counter() if self.record_wall else None,
+                fields=fields,
             )
         )
 
@@ -139,12 +238,29 @@ class NullTracer:
 
     enabled = False
     events: tuple = ()
+    current_parent: int | None = None
 
-    def instant(self, name: str, t: float, track: str = "sim", **fields) -> None:
+    def instant(
+        self, name: str, t: float, track: str = "sim",
+        parent_id: int | None = None, **fields,
+    ) -> None:
         pass
 
-    def begin(self, name: str, t: float, track: str = "sim", **fields) -> int:
+    def begin(
+        self, name: str, t: float, track: str = "sim",
+        parent_id: int | None = None, links: tuple[int, ...] = (), **fields,
+    ) -> int:
         return 0
+
+    def link(
+        self, from_span: int, to_span: int, t: float, track: str = "sim",
+        **fields,
+    ) -> None:
+        pass
+
+    @contextmanager
+    def scope(self, span_id: int):
+        yield span_id
 
     def end(
         self, name: str, t: float, span_id: int, track: str = "sim", **fields

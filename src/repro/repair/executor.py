@@ -82,12 +82,32 @@ def execute_plan(
     )
     if foreground is not None:
         foreground.bind(sim, network)
+    task_span = None
+    task_track = f"repair:{plan.requestor}"
+    if tracer.enabled:
+        # The repair's root causal span: every flow, fill and planning
+        # event of this repair hangs off it, and its duration is the
+        # makespan repro.obs.critpath reconstructs exactly.
+        task_span = tracer.begin(
+            "repair.task", t=start_time, track=task_track,
+            scheme=plan.scheme, requestor=plan.requestor, bmin=plan.bmin,
+        )
     if plan.is_pipelined:
         transfer = _run_pipelined(
-            plan, sim, config, foreground=foreground, governor=governor
+            plan, sim, config, foreground=foreground, governor=governor,
+            task_span=task_span, task_track=task_track,
         )
     else:
-        transfer = _run_staged(plan, sim, config)
+        transfer = _run_staged(
+            plan, sim, config, task_span=task_span
+        )
+    if tracer.enabled:
+        # Only simulated-time-derived fields here: wall-clock planning
+        # seconds would break byte-determinism of the default stream.
+        tracer.end(
+            "repair.task", t=start_time + transfer, span_id=task_span,
+            track=task_track, transfer_seconds=transfer,
+        )
     logger.info(
         "%s repair: transfer %.3fs, %.0f bytes over %d links",
         plan.scheme, transfer, sim.total_bytes_transferred,
@@ -129,6 +149,8 @@ def _run_pipelined(
     config: ExecutionConfig,
     foreground=None,
     governor=None,
+    task_span: int | None = None,
+    task_track: str = "sim",
 ) -> float:
     tree = plan.tree
     assert tree is not None
@@ -136,7 +158,10 @@ def _run_pipelined(
         tree.edges(),
         pipeline_bytes_per_edge(config, tree.depth()),
         label=plan.scheme,
+        parent_id=task_span,
+        meta={"bmin": plan.bmin} if task_span is not None else None,
     )
+    flow_span = sim.task_span(handle)
     if foreground is None and governor is None:
         sim.run()
     else:
@@ -152,19 +177,61 @@ def _run_pipelined(
                 foreground.run_until_repair_event(max_time=bound)
             else:
                 sim.run_until_completion(max_time=bound)
+    _trace_fill(
+        sim, config, finish=handle.finish_time,
+        task_span=task_span, task_track=task_track,
+        flow_span=flow_span,
+    )
     return handle.duration + pipeline_overhead_seconds(config)
 
 
+def _trace_fill(
+    sim: FluidSimulator,
+    config: ExecutionConfig,
+    finish: float,
+    task_span: int | None,
+    task_track: str,
+    flow_span: int | None,
+) -> None:
+    """Span for the analytic pipeline fill/overhead tail of a repair.
+
+    The fluid flow models the steady stream; the first-slice fill and
+    per-slice handling are charged after it as
+    :func:`pipeline_overhead_seconds`.  Making that tail an explicit
+    span (following from the flow) lets the critical path attribute it
+    as *pipeline dependency* time rather than an anonymous gap.
+    """
+    overhead = pipeline_overhead_seconds(config)
+    if task_span is None or not sim.tracer.enabled or overhead <= 0:
+        return
+    links = (flow_span,) if flow_span is not None else ()
+    span = sim.tracer.begin(
+        "repair.fill", t=finish, track=task_track, parent_id=task_span,
+        links=links, overhead=overhead,
+    )
+    sim.tracer.end(
+        "repair.fill", t=finish + overhead, span_id=span, track=task_track
+    )
+
+
 def _run_staged(
-    plan: RepairPlan, sim: FluidSimulator, config: ExecutionConfig
+    plan: RepairPlan,
+    sim: FluidSimulator,
+    config: ExecutionConfig,
+    task_span: int | None = None,
 ) -> float:
     assert plan.stages is not None
     start = sim.now
+    previous: tuple[int, ...] = ()
     for stage in plan.stages:
         handle = sim.submit_bulk(
             [(src, dst, float(config.chunk_size)) for src, dst in stage],
             label=plan.scheme,
+            parent_id=task_span,
+            links=previous,
         )
+        span = sim.task_span(handle)
+        previous = (span,) if span is not None else ()
         sim.run()
         if not handle.done:
             raise PlanningError(f"stage of {plan.scheme} never completed")
@@ -216,6 +283,8 @@ class _Hedge:
     #: launch time); the primary covers slices below it.
     start_slice: int
     tree_nodes: frozenset[int]
+    #: Trace span of the hedge flow (None when untraced).
+    span: int | None = None
 
 
 def _drive_attempt(
@@ -290,6 +359,7 @@ def _drive_attempt_hedged(
     tracer,
     registry: MetricsRegistry,
     journal,
+    task_span: int | None = None,
 ) -> tuple[_Failure | None, _Hedge | None, int]:
     """Like :func:`_drive_attempt`, plus gray-failure hedging.
 
@@ -316,6 +386,7 @@ def _drive_attempt_hedged(
         if tracer.enabled:
             tracer.instant(
                 "hedge.cancel", t=sim.now, track="executor",
+                parent_id=task_span,
                 task=handle.task_id, hedge_task=hedge.handle.task_id,
                 reason=reason, bytes_remaining=remaining,
             )
@@ -343,17 +414,26 @@ def _drive_attempt_hedged(
         )
         start_slice = min(watermark + verified, config.slices - 1)
         hedge_tree = hedge_plan.tree
+        primary_span = sim.task_span(handle)
         hedge_handle = sim.submit_pipelined(
             hedge_tree.edges(),
             remaining_bytes_per_edge(config, hedge_tree.depth(), start_slice),
             label=f"{hedge_plan.scheme}-h{attempt}",
             kind="hedge",
+            parent_id=task_span,
+            # The hedge races the primary it follows from.
+            links=(primary_span,) if primary_span is not None else (),
+            meta={
+                "bmin": hedge_plan.bmin, "start_slice": start_slice,
+                "hedge_of": handle.task_id,
+            } if task_span is not None else None,
         )
         registry.counter("hedges_launched").inc()
         registry.counter("hedge_events", kind="launch").inc()
         if tracer.enabled:
             tracer.instant(
                 "hedge.launch", t=sim.now, track="executor",
+                parent_id=task_span,
                 task=handle.task_id, hedge_task=hedge_handle.task_id,
                 start_slice=start_slice, helpers=sorted(hedge_plan.helpers),
                 excluded=sorted(culprits),
@@ -368,6 +448,7 @@ def _drive_attempt_hedged(
             plan=hedge_plan,
             start_slice=start_slice,
             tree_nodes=frozenset({hedge_tree.root, *hedge_tree.helpers}),
+            span=sim.task_span(hedge_handle),
         )
 
     while True:
@@ -383,9 +464,17 @@ def _drive_attempt_hedged(
             if tracer.enabled:
                 tracer.instant(
                     "hedge.adopt", t=sim.now, track="executor",
+                    parent_id=task_span,
                     task=handle.task_id, hedge_task=adopted.handle.task_id,
                     start_slice=adopted.start_slice,
                 )
+                if adopted.span is not None and task_span is not None:
+                    # Late causal edge: the repair's completion now
+                    # follows from the adopted hedge, not the primary.
+                    tracer.link(
+                        adopted.span, task_span, t=sim.now,
+                        track="executor", reason="hedge_adopt",
+                    )
             if journal is not None:
                 journal.append(
                     "hedge_adopt", t=sim.now, task=handle.task_id,
@@ -454,6 +543,7 @@ def _drive_attempt_hedged(
                 if tracer.enabled:
                     tracer.instant(
                         "health.straggler", t=sim.now, track="health",
+                        parent_id=task_span,
                         task=handle.task_id, nodes=sorted(verdict.nodes),
                         since=verdict.since, observed=verdict.observed,
                         promised=verdict.promised,
@@ -519,6 +609,13 @@ def repair_single_chunk_faulted(
         net, start_time=start_time, tracer=tracer, sampler=sampler,
         engine=config.engine,
     )
+    task_span: int | None = None
+    task_track = f"repair:{requestor}"
+    if tracer.enabled:
+        task_span = tracer.begin(
+            "repair.task", t=start_time, track=task_track,
+            scheme=planner.name, requestor=requestor,
+        )
     registry = MetricsRegistry()
     injector = FaultInjector(faults, tracer=tracer, registry=registry)
     candidates = list(candidates)
@@ -527,6 +624,7 @@ def repair_single_chunk_faulted(
     plan: RepairPlan | None = None
     resilient = journal is not None or health is not None
     watermark = 0
+    last_flow_span: int | None = None
     segments: list[tuple[RepairPlan, int]] = []
     hedges = 0
     if journal is not None:
@@ -540,7 +638,12 @@ def repair_single_chunk_faulted(
         if tracer.enabled:
             tracer.instant(
                 "repair.failed", t=sim.now, track="executor",
+                parent_id=task_span,
                 scheme=planner.name, reason=reason, attempts=attempts,
+            )
+            tracer.end(
+                "repair.task", t=sim.now, span_id=task_span,
+                track=task_track, failed=True, attempts=attempts,
             )
         logger.warning("repair failed after %d attempts: %s", attempts, reason)
         return RepairFailed(
@@ -577,7 +680,10 @@ def repair_single_chunk_faulted(
                 usable = alive
             snapshot = BandwidthSnapshot.from_network(net, now)
             try:
-                plan = planner.plan(snapshot, requestor, usable, k)
+                # Scoped so the planner.plan instant inherits the repair
+                # span as its causal parent.
+                with tracer.scope(task_span):
+                    plan = planner.plan(snapshot, requestor, usable, k)
             except PlanningError as error:
                 return failed(f"planning failed: {error}")
             planning_total += plan.planning_seconds
@@ -586,6 +692,7 @@ def repair_single_chunk_faulted(
                 if tracer.enabled:
                     tracer.instant(
                         "repair.replan", t=now, track="executor",
+                        parent_id=task_span,
                         attempt=attempts + 1, scheme=plan.scheme,
                         helpers=sorted(plan.helpers), bmin=plan.bmin,
                     )
@@ -599,7 +706,17 @@ def repair_single_chunk_faulted(
                 tree.edges(),
                 remaining_bytes_per_edge(config, tree.depth(), watermark),
                 label=f"{plan.scheme}-a{attempts}",
+                parent_id=task_span,
+                # A retried / journal-resumed attempt follows from the
+                # flow it replaces.
+                links=(last_flow_span,) if last_flow_span is not None
+                else (),
+                meta={
+                    "bmin": plan.bmin, "attempt": attempts,
+                    "start_slice": watermark,
+                } if task_span is not None else None,
             )
+            last_flow_span = sim.task_span(handle)
             tree_nodes = {tree.root, *tree.helpers}
             if journal is not None:
                 journal.append(
@@ -620,6 +737,7 @@ def repair_single_chunk_faulted(
                     sim, handle, plan, tree_nodes, faults, policy, monitor,
                     planner, net, requestor, usable, k, config, watermark,
                     attempts, tracer, registry, journal,
+                    task_span=task_span,
                 )
                 hedges += launched
             else:
@@ -639,6 +757,19 @@ def repair_single_chunk_faulted(
                 transfer = (
                     sim.now - start_time + pipeline_overhead_seconds(config)
                 )
+                if tracer.enabled:
+                    _trace_fill(
+                        sim, config, finish=sim.now,
+                        task_span=task_span, task_track=task_track,
+                        flow_span=adopted.span if adopted is not None
+                        else last_flow_span,
+                    )
+                    tracer.end(
+                        "repair.task", t=start_time + transfer,
+                        span_id=task_span, track=task_track,
+                        transfer_seconds=transfer,
+                        attempts=attempts, hedges=hedges,
+                    )
                 registry.gauge("planner_seconds").set(planning_total)
                 registry.histogram("task_seconds").observe(transfer)
                 if journal is not None:
@@ -671,6 +802,7 @@ def repair_single_chunk_faulted(
             if tracer.enabled:
                 tracer.instant(
                     "repair.detect", t=sim.now, track="executor",
+                    parent_id=task_span,
                     kind=failure.kind, nodes=failure.nodes,
                     attempt=attempts,
                 )
@@ -715,7 +847,20 @@ def repair_single_chunk_faulted(
             if tracer.enabled:
                 tracer.instant(
                     "repair.retry", t=sim.now, track="executor",
+                    parent_id=task_span,
                     attempt=attempts, backoff=backoff,
                 )
+                if backoff > 0:
+                    # Explicit backoff span so the wait shows up as
+                    # stall time on the repair's critical path.
+                    backoff_span = tracer.begin(
+                        "repair.backoff", t=sim.now, track=task_track,
+                        parent_id=task_span, attempt=attempts,
+                        seconds=backoff,
+                    )
+                    tracer.end(
+                        "repair.backoff", t=sim.now + backoff,
+                        span_id=backoff_span, track=task_track,
+                    )
             if backoff > 0:
                 sim.advance_to(sim.now + backoff)

@@ -88,6 +88,85 @@ class _InFlight:
     start_slice: int = 0
 
 
+class _SpanBook:
+    """Per-stripe ``repair.task`` spans — the causal roots of a run.
+
+    One span per stripe opens on track ``repair:<stripe_id>`` the moment
+    the orchestrator accepts the work, so time spent waiting in the
+    concurrency window or the Eq. 3 recommendation queue is *inside* the
+    span; it closes when the stripe's chunk is rebuilt (at the flow's
+    exact finish time) or abandoned.  Planning windows, flows, re-plans
+    and slice-watermark resumes all hang off it via ``parent_id`` /
+    ``links``, which is what :mod:`repro.obs.critpath` walks to
+    reconstruct each repair's critical path.
+    """
+
+    def __init__(self, tracer, stripes: Sequence[Stripe], t: float,
+                 scheme: str):
+        self.tracer = tracer
+        self.enabled = tracer.enabled
+        self.spans: dict[int, int] = {}
+        #: stripe_id -> span of the stripe's most recent flow (a re-plan
+        #: or resume links its new flow to the one it replaces).
+        self.last_flow: dict[int, int] = {}
+        if self.enabled:
+            for stripe in stripes:
+                self.spans[stripe.stripe_id] = tracer.begin(
+                    "repair.task", t=t, track=self.track(stripe.stripe_id),
+                    stripe=stripe.stripe_id, scheme=scheme,
+                )
+
+    @staticmethod
+    def track(stripe_id: int) -> str:
+        return f"repair:{stripe_id}"
+
+    def parent(self, stripe_id: int | None) -> int | None:
+        if stripe_id is None:
+            return None
+        return self.spans.get(stripe_id)
+
+    def begin_planning(self, stripe_id: int, t: float) -> int | None:
+        """Open the span covering a stripe's serial-planning clock charge."""
+        if not self.enabled:
+            return None
+        return self.tracer.begin(
+            "repair.planning", t=t, track=self.track(stripe_id),
+            parent_id=self.spans.get(stripe_id), stripe=stripe_id,
+        )
+
+    def end_planning(self, span: int | None, stripe_id: int,
+                     t: float) -> None:
+        if span is not None:
+            self.tracer.end(
+                "repair.planning", t=t, span_id=span,
+                track=self.track(stripe_id),
+            )
+
+    def note_flow(self, stripe_id: int, flow_span: int | None) -> None:
+        if self.enabled and flow_span is not None:
+            self.last_flow[stripe_id] = flow_span
+
+    def flow_links(
+        self, stripe_id: int, planning_span: int | None
+    ) -> tuple[int, ...]:
+        links = []
+        previous = self.last_flow.get(stripe_id)
+        if previous is not None:
+            links.append(previous)
+        if planning_span is not None:
+            links.append(planning_span)
+        return tuple(links)
+
+    def end_task(self, stripe_id: int | None, t: float, **fields) -> None:
+        span = self.spans.pop(stripe_id, None) if stripe_id is not None \
+            else None
+        if span is not None:
+            self.tracer.end(
+                "repair.task", t=t, span_id=span,
+                track=self.track(stripe_id), **fields,
+            )
+
+
 def residual_snapshot(
     network: StarNetwork, sim: FluidSimulator
 ) -> BandwidthSnapshot:
@@ -161,6 +240,8 @@ def _submit(
     stripe: Stripe | None = None,
     max_rate: float | None = None,
     start_slice: int = 0,
+    book: _SpanBook | None = None,
+    planning_span: int | None = None,
 ) -> _InFlight:
     if not plan.is_pipelined:
         raise ClusterError(
@@ -168,10 +249,23 @@ def _submit(
         )
     tree = plan.tree
     bytes_per_edge = remaining_bytes_per_edge(config, tree.depth(), start_slice)
+    parent = None
+    links: tuple[int, ...] = ()
+    meta = None
+    if book is not None and book.enabled and stripe is not None:
+        parent = book.parent(stripe.stripe_id)
+        links = book.flow_links(stripe.stripe_id, planning_span)
+        meta = {
+            "stripe": stripe.stripe_id, "bmin": plan.bmin,
+            "start_slice": start_slice,
+        }
     handle = sim.submit_pipelined(
         tree.edges(), bytes_per_edge,
         label=f"{plan.scheme}-r{plan.requestor}", max_rate=max_rate,
+        parent_id=parent, links=links, meta=meta,
     )
+    if book is not None and stripe is not None:
+        book.note_flow(stripe.stripe_id, sim.task_span(handle))
     expected = bytes_per_edge / plan.bmin if plan.bmin > 0 else bytes_per_edge
     running = RunningTask(
         tree=tree, start_time=sim.now, expected_seconds=expected
@@ -192,9 +286,20 @@ def _collect(
     on_repaired=None,
     journal=None,
     sim: FluidSimulator | None = None,
+    book: _SpanBook | None = None,
 ) -> None:
     for handle in finished:
         flight = in_flight.pop(handle.task_id)
+        if book is not None and flight.stripe is not None:
+            # Close at the flow's exact finish time (collection can lag
+            # behind completion by a planning window): the span duration
+            # is the stripe's measured makespan the critical path must
+            # sum to.
+            book.end_task(
+                flight.stripe.stripe_id, t=handle.finish_time,
+                transfer_seconds=handle.duration,
+                requestor=flight.plan.requestor,
+            )
         tree = flight.plan.tree
         bytes_moved = 0.0
         if config is not None and tree is not None:
@@ -375,6 +480,14 @@ class _FaultDriver:
         self.start_time = sim.now
         #: stripe_id -> (verified slice watermark, requestor that holds it).
         self.watermarks: dict[int, tuple[int, int]] = {}
+        #: Attached by the orchestrators; parents fault instants to their
+        #: stripe's repair span and closes spans of aborted stripes.
+        self.book: _SpanBook | None = None
+
+    def _parent(self, stripe_id: int | None) -> int | None:
+        if self.book is None:
+            return None
+        return self.book.parent(stripe_id)
 
     def tick(
         self,
@@ -415,6 +528,9 @@ class _FaultDriver:
             if self.tracer.enabled:
                 self.tracer.instant(
                     "repair.detect", t=self.sim.now, track="executor",
+                    parent_id=self._parent(
+                        flight.plan.notes.get("stripe_id")
+                    ),
                     stripe=flight.plan.notes.get("stripe_id"),
                     nodes=lost, kind="crash",
                 )
@@ -496,6 +612,7 @@ class _FaultDriver:
         if self.tracer.enabled:
             self.tracer.instant(
                 "repair.replan", t=self.sim.now, track="executor",
+                parent_id=self._parent(stripe.stripe_id),
                 stripe=stripe.stripe_id, requestor=plan.requestor,
                 helpers=sorted(plan.helpers), bmin=plan.bmin,
             )
@@ -507,8 +624,13 @@ class _FaultDriver:
         if self.tracer.enabled:
             self.tracer.instant(
                 "repair.failed", t=self.sim.now, track="executor",
+                parent_id=self._parent(stripe.stripe_id),
                 stripe=stripe.stripe_id, reason=reason,
             )
+            if self.book is not None:
+                self.book.end_task(
+                    stripe.stripe_id, t=self.sim.now, failed=True,
+                )
         logger.warning(
             "stripe %d unrepairable: %s", stripe.stripe_id, reason
         )
@@ -588,6 +710,8 @@ def repair_full_node(
         faults, retry_policy, sim, planner.name, tracer, registry,
         config=config, journal=journal,
     )
+    book = _SpanBook(tracer, stripes, start_time, planner.name)
+    driver.book = book
     if foreground is not None:
         foreground.bind(sim, network)
         driver.advance = foreground.drive_to
@@ -596,7 +720,7 @@ def repair_full_node(
     def collect(done):
         _collect(
             done, in_flight, results, registry, config,
-            on_repaired=on_repaired, journal=journal, sim=sim,
+            on_repaired=on_repaired, journal=journal, sim=sim, book=book,
         )
 
     total_stripes = len(stripes)
@@ -610,11 +734,16 @@ def repair_full_node(
             while pending and len(in_flight) < concurrency:
                 stripe = pending.pop(0)
                 try:
-                    plan = _plan_stripe(
-                        planner, network, sim, stripe, failed_node,
-                        faults=faults if driver.active else None,
-                        preferred_requestor=driver.preferred_requestor(stripe),
-                    )
+                    # Scoped so the planner.plan instant inherits the
+                    # stripe's repair span as its causal parent.
+                    with tracer.scope(book.parent(stripe.stripe_id)):
+                        plan = _plan_stripe(
+                            planner, network, sim, stripe, failed_node,
+                            faults=faults if driver.active else None,
+                            preferred_requestor=driver.preferred_requestor(
+                                stripe
+                            ),
+                        )
                 except (ClusterError, PlanningError) as exc:
                     if not driver.active:
                         raise
@@ -622,9 +751,11 @@ def repair_full_node(
                     continue
                 # Planning is serial at the Master: the clock moves while it
                 # runs, and other tasks may complete in that window.
+                planning_span = book.begin_planning(stripe.stripe_id, sim.now)
                 done_meanwhile = _advance(
                     sim, foreground, sim.now + plan.effective_planning_seconds
                 )
+                book.end_planning(planning_span, stripe.stripe_id, sim.now)
                 collect(done_meanwhile)
                 driver.note_started(stripe, plan)
                 start_slice = driver.resume_slice(stripe, plan)
@@ -636,7 +767,8 @@ def repair_full_node(
                     )
                 flight = _submit(
                     sim, plan, config, stripe=stripe, max_rate=cap,
-                    start_slice=start_slice,
+                    start_slice=start_slice, book=book,
+                    planning_span=planning_span,
                 )
                 in_flight[flight.handle.task_id] = flight
             if not in_flight:
@@ -697,6 +829,8 @@ def repair_full_node_adaptive(
         faults, retry_policy, sim, f"{planner.name}+strategy", tracer,
         registry, config=config, journal=journal,
     )
+    book = _SpanBook(tracer, stripes, start_time, f"{planner.name}+strategy")
+    driver.book = book
     if foreground is not None:
         foreground.bind(sim, network)
         driver.advance = foreground.drive_to
@@ -705,7 +839,7 @@ def repair_full_node_adaptive(
     def collect(done):
         _collect(
             done, in_flight, results, registry, config,
-            on_repaired=on_repaired, journal=journal, sim=sim,
+            on_repaired=on_repaired, journal=journal, sim=sim, book=book,
         )
 
     total_stripes = len(stripes)
@@ -720,7 +854,7 @@ def repair_full_node_adaptive(
                 planner, network, sim, pending, in_flight, failed_node,
                 scheduler, config, results, registry, tracer, driver,
                 foreground=foreground, on_repaired=on_repaired, max_rate=cap,
-                journal=journal,
+                journal=journal, book=book,
             )
             if not in_flight:
                 continue
@@ -756,6 +890,7 @@ def _start_recommended(
     on_repaired=None,
     max_rate: float | None = None,
     journal=None,
+    book: _SpanBook | None = None,
 ) -> None:
     """Start best-stripe tasks while their recommendation clears the bar."""
     idle_since: float | None = None
@@ -804,6 +939,8 @@ def _start_recommended(
         if tracer.enabled:
             tracer.instant(
                 "scheduler.round", t=sim.now, track="scheduler",
+                parent_id=book.parent(best_plan.notes.get("stripe_id"))
+                if book is not None else None,
                 candidates=len(pending), running=len(in_flight),
                 best_value=best_value,
                 best_stripe=best_plan.notes.get("stripe_id"),
@@ -825,16 +962,24 @@ def _start_recommended(
         pending.pop(
             next(i for i, s in enumerate(pending) if s is best_stripe)
         )
+        planning_span = (
+            book.begin_planning(best_stripe.stripe_id, sim.now)
+            if book is not None else None
+        )
         done_meanwhile = _advance(
             sim, foreground, sim.now + best_plan.effective_planning_seconds
         )
+        if book is not None:
+            book.end_planning(planning_span, best_stripe.stripe_id, sim.now)
         _collect(
             done_meanwhile, in_flight, results, registry, config,
-            on_repaired=on_repaired, journal=journal, sim=sim,
+            on_repaired=on_repaired, journal=journal, sim=sim, book=book,
         )
         if tracer.enabled:
             tracer.instant(
                 "scheduler.start", t=sim.now, track="scheduler",
+                parent_id=book.parent(best_stripe.stripe_id)
+                if book is not None else None,
                 stripe=best_plan.notes.get("stripe_id"),
                 requestor=best_plan.requestor, value=best_value,
             )
@@ -853,7 +998,7 @@ def _start_recommended(
             )
         flight = _submit(
             sim, best_plan, config, stripe=best_stripe, max_rate=max_rate,
-            start_slice=start_slice,
+            start_slice=start_slice, book=book, planning_span=planning_span,
         )
         in_flight[flight.handle.task_id] = flight
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.core.bandwidth_view import BandwidthSnapshot
 from repro.exceptions import PlanningError
 from repro.network.simulator import FluidSimulator
+from repro.obs.tracer import NULL_TRACER
 from repro.repair.metrics import RepairResult
 from repro.repair.pipeline import ExecutionConfig
 
@@ -91,8 +92,14 @@ def execute_multi_chunk(
     start_time: float = 0.0,
     config: ExecutionConfig | None = None,
     decode_rate: float = 1e9,
+    tracer=NULL_TRACER,
 ) -> RepairResult:
     """Time the conventional repair: download k chunks, decode, upload.
+
+    With a live ``tracer`` the three phases form a causal chain under
+    one ``repair.task`` span — download flow → ``repair.decode`` span →
+    upload flow, each following from its predecessor — so the critical
+    path of a multi-chunk repair tiles its makespan exactly.
 
     Args:
         decode_rate: bytes/second of the requestor's decode throughput
@@ -101,18 +108,42 @@ def execute_multi_chunk(
     config = config or ExecutionConfig()
     if decode_rate <= 0:
         raise PlanningError("decode rate must be positive")
-    sim = FluidSimulator(network, start_time=start_time, engine=config.engine)
+    sim = FluidSimulator(
+        network, start_time=start_time, tracer=tracer, engine=config.engine
+    )
+    task_span = None
+    task_track = f"repair:{plan.requestor}"
+    if tracer.enabled:
+        task_span = tracer.begin(
+            "repair.task", t=start_time, track=task_track,
+            scheme="Conventional-multi", requestor=plan.requestor,
+            chunks=len(plan.placements),
+        )
     download = sim.submit_bulk(
         [(src, dst, float(config.chunk_size)) for src, dst in plan.download_edges],
         label="multichunk-download",
+        parent_id=task_span,
     )
+    download_span = sim.task_span(download)
     sim.run()
     if not download.done:
         raise PlanningError("multi-chunk download never completed")
     # Decode happens at the requestor after the last chunk arrives.
     rebuilt = len(plan.placements)
     decode_seconds = rebuilt * config.chunk_size / decode_rate
+    decode_span = None
+    if tracer.enabled and decode_seconds > 0:
+        decode_span = tracer.begin(
+            "repair.decode", t=sim.now, track=task_track,
+            parent_id=task_span,
+            links=(download_span,) if download_span is not None else (),
+            chunks=rebuilt,
+        )
     sim.advance_to(sim.now + decode_seconds)
+    if decode_span is not None:
+        tracer.end(
+            "repair.decode", t=sim.now, span_id=decode_span, track=task_track
+        )
     if plan.upload_edges:
         upload = sim.submit_bulk(
             [
@@ -120,10 +151,17 @@ def execute_multi_chunk(
                 for src, dst in plan.upload_edges
             ],
             label="multichunk-upload",
+            parent_id=task_span,
+            links=(decode_span,) if decode_span is not None else (),
         )
         sim.run()
         if not upload.done:
             raise PlanningError("multi-chunk upload never completed")
+    if tracer.enabled:
+        tracer.end(
+            "repair.task", t=sim.now, span_id=task_span, track=task_track,
+            transfer_seconds=sim.now - start_time,
+        )
     return RepairResult(
         scheme="Conventional-multi",
         planning_seconds=0.0,

@@ -22,9 +22,12 @@ their own data), and the repair completes at ``arrive[root][S-1]``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.core.bandwidth_view import BandwidthSnapshot
 from repro.core.tree import RepairTree
 from repro.exceptions import SimulationError
+from repro.obs.tracer import NULL_TRACER
 from repro.repair.pipeline import ExecutionConfig
 
 
@@ -43,19 +46,13 @@ def edge_rate(
     return min(snapshot.up_of(child), share)
 
 
-def simulate_slices(
+def _solve(
     tree: RepairTree,
     snapshot: BandwidthSnapshot,
-    config: ExecutionConfig | None = None,
-    start_slice: int = 0,
-) -> float:
-    """Transfer time of one pipelined single-chunk repair, slice level.
-
-    ``start_slice`` simulates a resumed repair: only the remaining
-    ``S - start_slice`` slices stream through the tree (the first
-    ``start_slice`` slices are already verified at the requestor).
-    """
-    config = config or ExecutionConfig()
+    config: ExecutionConfig,
+    start_slice: int,
+) -> tuple[dict[int, list[float]], dict[int, list[float]], dict[int, float], int]:
+    """Solve the slice recurrence; returns (arrive, finish, per_slice, S)."""
     if not 0 <= start_slice < config.slices:
         raise SimulationError(
             f"start_slice must be in [0, {config.slices}), got {start_slice}"
@@ -102,7 +99,129 @@ def simulate_slices(
             previous = max(arrivals[i], previous) + per_slice
             out.append(previous)
         finish[node] = out
+    return arrive, finish, slice_seconds, slices
+
+
+def simulate_slices(
+    tree: RepairTree,
+    snapshot: BandwidthSnapshot,
+    config: ExecutionConfig | None = None,
+    start_slice: int = 0,
+) -> float:
+    """Transfer time of one pipelined single-chunk repair, slice level.
+
+    ``start_slice`` simulates a resumed repair: only the remaining
+    ``S - start_slice`` slices stream through the tree (the first
+    ``start_slice`` slices are already verified at the requestor).
+    """
+    config = config or ExecutionConfig()
+    arrive, _, _, slices = _solve(tree, snapshot, config, start_slice)
     return arrive[tree.root][slices - 1]
+
+
+@dataclass(frozen=True)
+class SliceSegment:
+    """One slice transfer on the critical path of a pipelined repair.
+
+    ``kind`` records why this segment started when it did: ``"arrive"``
+    means the edge was waiting on the slice aggregating below it (the
+    walk descends into the child subtree), ``"serial"`` means it was
+    waiting on the same edge finishing the previous slice (the edge is
+    the pipeline bottleneck at this point).
+    """
+
+    node: int
+    parent: int
+    slice_index: int
+    start: float
+    end: float
+    kind: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def slice_critical_path(
+    tree: RepairTree,
+    snapshot: BandwidthSnapshot,
+    config: ExecutionConfig | None = None,
+    start_slice: int = 0,
+    tracer=NULL_TRACER,
+    parent_id: int | None = None,
+) -> list[SliceSegment]:
+    """Exact critical path of a slice-level pipelined repair.
+
+    Walks backward from the last slice's arrival at the root.  At each
+    point the predecessor of a transfer is either the previous slice on
+    the same edge (serialisation) or the slice's arrival from below
+    (descend into the child whose finish dominated the max).  Consecutive
+    segments abut exactly, so their durations sum to ``simulate_slices``'s
+    makespan with no float drift beyond summation order.
+
+    With a live ``tracer``, each segment is emitted as a ``slice.xfer``
+    span on track ``slice:<node>``, chained with ``links`` and parented
+    under ``parent_id`` — slice-level drill-down under a repair span.
+    """
+    config = config or ExecutionConfig()
+    arrive, finish, slice_seconds, slices = _solve(
+        tree, snapshot, config, start_slice
+    )
+    segments: list[SliceSegment] = []
+    # Start at the root's last arrival and descend into the winning child.
+    node, i = tree.root, slices - 1
+    while True:
+        kids = tree.children(node)
+        if not kids:
+            break  # leaf arrival is t=0: the path is complete
+        child = max(kids, key=lambda c: (finish[c][i], -c))
+        # Follow the chain of transfers on edge child -> node backwards
+        # while the edge's own serialisation (not the arrival from below)
+        # is what gated each slice's start.
+        while True:
+            prev_finish = finish[child][i - 1] if i > 0 else 0.0
+            start = max(arrive[child][i], prev_finish)
+            kind = (
+                "serial"
+                if i > 0 and prev_finish >= arrive[child][i]
+                else "arrive"
+            )
+            segments.append(
+                SliceSegment(
+                    node=child,
+                    parent=node,
+                    slice_index=i + start_slice,
+                    start=start,
+                    end=finish[child][i],
+                    kind=kind,
+                )
+            )
+            if kind != "serial":
+                break
+            i -= 1  # same edge, previous slice
+        node = child  # descend toward the arrival that gated us
+    segments.reverse()
+    if tracer.enabled:
+        previous_span: int | None = None
+        for seg in segments:
+            span = tracer.begin(
+                "slice.xfer",
+                t=seg.start,
+                track=f"slice:{seg.node}",
+                parent_id=parent_id,
+                links=(previous_span,) if previous_span is not None else (),
+                slice=seg.slice_index,
+                to=seg.parent,
+                kind=seg.kind,
+            )
+            tracer.end(
+                "slice.xfer",
+                t=seg.end,
+                span_id=span,
+                track=f"slice:{seg.node}",
+            )
+            previous_span = span
+    return segments
 
 
 def fluid_estimate(

@@ -27,6 +27,9 @@ EVENT_PREFIXES = (
     "hedge",
     "slo",
     "lifetime",
+    "span",
+    "slice",
+    "critpath",
 )
 
 

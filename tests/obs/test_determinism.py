@@ -251,3 +251,62 @@ class TestFaultedDeterminism:
         assert first.ok == second.ok
         assert first.attempts == second.attempts
         assert first.bytes_transferred == second.bytes_transferred
+
+
+class TestEngineTraceEquivalence:
+    """The fast and reference fluid engines must emit byte-identical
+    default (no-wall) JSONL traces, including the causal parent/link
+    fields the critical-path reconstruction depends on."""
+
+    def run(self, engine):
+        stripes = place_stripes(6, CODE, NODE_COUNT, np.random.default_rng(3))
+        failed = stripes[0].placement[0]
+        config = ExecutionConfig(
+            chunk_size=10_000, slice_size=1000, per_slice_overhead=0.0,
+            engine=engine,
+        )
+        tracer = Tracer()
+        repair_full_node_adaptive(
+            ZeroCostPlanner(), seeded_network(), stripes, failed,
+            config=config, tracer=tracer,
+        )
+        return to_jsonl(tracer.events)
+
+    def test_fast_and_reference_traces_identical(self):
+        fast = self.run("fast")
+        reference = self.run("reference")
+        assert fast
+        assert fast == reference
+
+    def test_trace_carries_causal_fields(self):
+        jsonl = self.run("fast")
+        assert '"parent_id"' in jsonl
+        assert '"links"' in jsonl
+
+    def test_hedged_trace_identical_across_engines(self):
+        from repro.faults import FaultPlan, RetryPolicy
+        from repro.repair import repair_single_chunk_faulted
+        from repro.resilience import HealthPolicy
+
+        def run(engine):
+            mib = 1024 * 1024
+            victim = 3
+            net = StarNetwork.constant(
+                [12 * mib if i == victim else 10 * mib for i in range(8)],
+                [12 * mib if i == victim else 10 * mib for i in range(8)],
+            )
+            tracer = Tracer()
+            repair_single_chunk_faulted(
+                PivotRepairPlanner(), net, 0, [1, 2, 3, 4, 5], CODE.k,
+                FaultPlan.from_spec("degrade:3@0.1-1000x0.05"),
+                policy=RetryPolicy(detection_timeout=0.05),
+                config=ExecutionConfig(
+                    chunk_size=8 * mib, slice_size=32768, engine=engine
+                ),
+                tracer=tracer, health=HealthPolicy(),
+            )
+            return to_jsonl(tracer.events)
+
+        fast = run("fast")
+        assert '"span.link"' in fast  # hedge adoption link present
+        assert fast == run("reference")

@@ -241,3 +241,92 @@ class TestLabeledCounterSeries:
         assert any(
             e.get("name") == "hedge_events" for e in payload["traceEvents"]
         )
+
+
+class TestCausalFlowArrows:
+    """Perfetto flow events for the causal span DAG (hedged repair)."""
+
+    def hedged_trace(self):
+        import numpy as np
+
+        from repro.core import PivotRepairPlanner
+        from repro.ec import RSCode
+        from repro.faults import FaultPlan, RetryPolicy
+        from repro.network.topology import StarNetwork
+        from repro.repair import repair_single_chunk_faulted
+        from repro.repair.pipeline import ExecutionConfig
+        from repro.resilience import HealthPolicy
+
+        mib = 1024 * 1024
+        victim = 3
+        net = StarNetwork.constant(
+            [12 * mib if i == victim else 10 * mib for i in range(8)],
+            [12 * mib if i == victim else 10 * mib for i in range(8)],
+        )
+        tracer = Tracer()
+        result = repair_single_chunk_faulted(
+            PivotRepairPlanner(), net, 0, [1, 2, 3, 4, 5], RSCode(6, 4).k,
+            FaultPlan.from_spec("degrade:3@0.1-1000x0.05"),
+            policy=RetryPolicy(detection_timeout=0.05),
+            config=ExecutionConfig(chunk_size=8 * mib, slice_size=32768),
+            tracer=tracer, health=HealthPolicy(),
+        )
+        assert result.hedges == 1
+        return tracer.events
+
+    def test_arrows_are_wellformed_perfetto_flow_events(self):
+        events = self.hedged_trace()
+        doc = to_chrome_trace(events)
+        arrows = [
+            e for e in doc["traceEvents"] if e.get("cat") == "causal"
+        ]
+        assert arrows, "hedged repair must produce causal arrows"
+        starts = {e["id"]: e for e in arrows if e["ph"] == "s"}
+        finishes = {e["id"]: e for e in arrows if e["ph"] == "f"}
+        # Every arrow is a matched s/f pair sharing an id; nothing else.
+        assert set(starts) == set(finishes)
+        assert len(starts) + len(finishes) == len(arrows)
+        valid_tids = {
+            e["tid"] for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        }
+        for event in arrows:
+            assert event["name"] in (
+                "causal.parent", "causal.follows", "causal.link"
+            )
+            assert isinstance(event["id"], int)
+            assert event["ts"] >= 0
+            assert event["tid"] in valid_tids
+        # Binding-point "enclosing slice" only on the finish side.
+        assert all(e["bp"] == "e" for e in finishes.values())
+        assert all("bp" not in e for e in starts.values())
+
+    def test_start_lies_inside_its_source_slice(self):
+        events = self.hedged_trace()
+        doc = to_chrome_trace(events)
+        slices = [
+            (e["tid"], e["ts"], e["ts"] + e["dur"])
+            for e in doc["traceEvents"] if e.get("ph") == "X"
+        ]
+        starts = [
+            e for e in doc["traceEvents"]
+            if e.get("cat") == "causal" and e["ph"] == "s"
+        ]
+        assert starts
+        for event in starts:
+            assert any(
+                tid == event["tid"] and t0 <= event["ts"] <= t1
+                for tid, t0, t1 in slices
+            ), f"flow start {event} binds to no slice on its track"
+
+    def test_hedge_adoption_emits_late_link_arrow(self):
+        events = self.hedged_trace()
+        assert any(e.name == "span.link" for e in events)
+        doc = to_chrome_trace(events)
+        names = {
+            e["name"] for e in doc["traceEvents"]
+            if e.get("cat") == "causal"
+        }
+        assert "causal.link" in names  # hedge adoption
+        assert "causal.parent" in names  # span nesting
+        assert "causal.follows" in names  # attempt/planning links

@@ -25,7 +25,7 @@ def _is_tracer_call(node: ast.Call) -> bool:
     func = node.func
     if not isinstance(func, ast.Attribute):
         return False
-    if func.attr not in ("instant", "begin"):
+    if func.attr not in ("instant", "begin", "link"):
         return False
     target = func.value
     if isinstance(target, ast.Name):
@@ -33,6 +33,14 @@ def _is_tracer_call(node: ast.Call) -> bool:
     if isinstance(target, ast.Attribute):
         return target.attr == "tracer"
     return False
+
+
+def _is_link_call(node: ast.Call) -> bool:
+    """``tracer.link(...)`` appends a ``span.link`` instant internally,
+    so the emitted name never appears as a call argument."""
+    return (
+        isinstance(node.func, ast.Attribute) and node.func.attr == "link"
+    )
 
 
 def _dotted_literals(tree: ast.AST) -> set[str]:
@@ -53,6 +61,9 @@ def emitted_prefixes() -> dict[str, set[str]]:
         names: set[str] = set()
         for node in ast.walk(tree):
             if not (isinstance(node, ast.Call) and _is_tracer_call(node)):
+                continue
+            if _is_link_call(node):
+                names.add("span.link")
                 continue
             if not node.args:
                 continue
@@ -79,6 +90,18 @@ def test_scanner_sees_known_subsystems():
     assert "governor" in found
     assert "flow" in found
     assert "fault" in found
+
+
+def test_scanner_sees_causal_tracing_prefixes():
+    found = emitted_prefixes()
+    # ``tracer.link`` calls (hedge adoption) emit span.link internally.
+    assert "span" in found
+    assert any("executor" in path for path in found["span"])
+    # Slice-level critical-path drill-down spans.
+    assert "slice" in found
+    assert any("slicesim" in path for path in found["slice"])
+    # The critpath CLI stamps its report into the trace it analysed.
+    assert "critpath" in found
 
 
 def test_every_emitted_prefix_is_listed():

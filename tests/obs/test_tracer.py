@@ -75,3 +75,75 @@ class TestNullTracer:
 
     def test_shared_singleton_is_disabled(self):
         assert NULL_TRACER.enabled is False
+
+
+class TestCausalPrimitives:
+    def test_explicit_parent_and_links_recorded(self):
+        tracer = Tracer()
+        parent = tracer.begin("repair.task", t=0.0, track="repair:1")
+        child = tracer.begin(
+            "flow", t=1.0, track="node:1", parent_id=parent,
+            links=(parent,),
+        )
+        tracer.instant("flow.submit", t=1.0, parent_id=child)
+        begin = tracer.events[1]
+        assert begin.parent_id == parent
+        assert begin.links == (parent,)
+        assert tracer.events[2].parent_id == child
+
+    def test_scope_sets_ambient_parent(self):
+        tracer = Tracer()
+        outer = tracer.begin("repair.task", t=0.0, track="repair:1")
+        assert tracer.current_parent is None
+        with tracer.scope(outer):
+            assert tracer.current_parent == outer
+            tracer.instant("planner.plan", t=0.5, track="planner")
+            inner = tracer.begin("flow", t=0.5, track="node:1")
+            with tracer.scope(inner):
+                tracer.instant("flow.submit", t=0.5)
+        assert tracer.current_parent is None
+        plan, flow_begin, submit = tracer.events[1:4]
+        assert plan.parent_id == outer
+        assert flow_begin.parent_id == outer
+        assert submit.parent_id == inner
+
+    def test_explicit_parent_overrides_scope(self):
+        tracer = Tracer()
+        outer = tracer.begin("a.span", t=0.0)
+        other = tracer.begin("b.span", t=0.0)
+        with tracer.scope(outer):
+            tracer.instant("x.y", t=1.0, parent_id=other)
+        assert tracer.events[-1].parent_id == other
+
+    def test_link_emits_span_link_instant(self):
+        tracer = Tracer()
+        src = tracer.begin("flow", t=0.0, track="node:1")
+        dst = tracer.begin("repair.task", t=0.0, track="repair:1")
+        tracer.link(src, dst, t=2.0, track="executor", reason="hedge_adopt")
+        event = tracer.events[-1]
+        assert event.name == "span.link"
+        assert event.kind == "instant"
+        assert event.parent_id == dst
+        assert event.fields["from_span"] == src
+        assert event.fields["to_span"] == dst
+        assert event.fields["reason"] == "hedge_adopt"
+
+    def test_null_tracer_mirrors_causal_api(self):
+        tracer = NullTracer()
+        assert tracer.current_parent is None
+        with tracer.scope(7) as span:
+            assert span == 7
+        tracer.link(1, 2, t=0.0)
+        tracer.begin("flow", t=0.0, parent_id=3, links=(1, 2))
+        assert len(tracer.events) == 0
+
+    def test_parent_and_links_round_trip_to_dict(self):
+        tracer = Tracer()
+        parent = tracer.begin("a.span", t=0.0)
+        tracer.begin("b.span", t=1.0, parent_id=parent, links=(parent,))
+        payload = tracer.events[-1].to_dict()
+        assert payload["parent_id"] == parent
+        assert payload["links"] == [parent]
+        # Absent causal fields stay absent (byte-stable JSONL).
+        assert "parent_id" not in tracer.events[0].to_dict()
+        assert "links" not in tracer.events[0].to_dict()

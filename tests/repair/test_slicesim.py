@@ -124,3 +124,87 @@ class TestAgreementWithFluidModel:
         fine = simulate_slices(tree, view, cfg_fine)
         coarse = simulate_slices(tree, view, cfg_coarse)
         assert abs(fine - fluid) <= abs(coarse - fluid) + 1e-9
+
+
+class TestSliceCriticalPath:
+    def tree_and_snapshot(self, seed=7, n=8):
+        rng = np.random.default_rng(seed)
+        parents = {i: int(rng.integers(0, i)) for i in range(1, n)}
+        tree = RepairTree(root=0, parents=parents)
+        snap = snapshot(
+            {i: float(rng.uniform(50.0, 500.0)) for i in range(n)},
+            {i: float(rng.uniform(50.0, 500.0)) for i in range(n)},
+        )
+        return tree, snap
+
+    def test_segments_tile_the_makespan_exactly(self):
+        from repro.repair.slicesim import slice_critical_path
+
+        for seed in range(12):
+            tree, snap = self.tree_and_snapshot(seed=seed)
+            cfg = config(chunk=1000, slice_size=50, overhead=1e-4)
+            makespan = simulate_slices(tree, snap, cfg)
+            segments = slice_critical_path(tree, snap, cfg)
+            assert sum(s.duration for s in segments) == pytest.approx(
+                makespan, abs=1e-9
+            )
+            assert segments[0].start == pytest.approx(0.0, abs=1e-12)
+            assert segments[-1].end == pytest.approx(makespan, abs=1e-12)
+            for a, b in zip(segments, segments[1:]):
+                assert a.end == pytest.approx(b.start, abs=1e-12)
+
+    def test_resumed_repair_paths_tile_too(self):
+        from repro.repair.slicesim import slice_critical_path
+
+        tree, snap = self.tree_and_snapshot()
+        cfg = config(chunk=1000, slice_size=50)
+        for start_slice in (0, 5, 19):
+            makespan = simulate_slices(
+                tree, snap, cfg, start_slice=start_slice
+            )
+            segments = slice_critical_path(
+                tree, snap, cfg, start_slice=start_slice
+            )
+            assert sum(s.duration for s in segments) == pytest.approx(
+                makespan, abs=1e-9
+            )
+            # Slice indices are absolute, not relative to the resume.
+            assert min(s.slice_index for s in segments) >= start_slice
+
+    def test_serial_bottleneck_stays_on_one_edge(self):
+        from repro.repair.slicesim import slice_critical_path
+
+        # Chain 2 -> 1 -> 0 where edge 1->0 is 10x slower: after the
+        # first slice arrives, the critical path is pure serialization
+        # on the slow edge.
+        tree = RepairTree(0, {1: 0, 2: 1})
+        snap = snapshot(
+            {0: 1000.0, 1: 10.0, 2: 1000.0},
+            {0: 10.0, 1: 1000.0, 2: 1000.0},
+        )
+        segments = slice_critical_path(
+            tree, snap, config(chunk=1000, slice_size=100)
+        )
+        serial = [s for s in segments if s.kind == "serial"]
+        assert len(serial) == 9  # slices 1..9 gated by slice i-1
+        assert all(s.node == 1 for s in serial)
+
+    def test_tracer_emission_chains_spans(self):
+        from repro.obs import Tracer
+        from repro.repair.slicesim import slice_critical_path
+
+        tree, snap = self.tree_and_snapshot()
+        tracer = Tracer()
+        parent = tracer.begin("repair.task", t=0.0, track="repair:0")
+        segments = slice_critical_path(
+            tree, snap, config(chunk=1000, slice_size=100),
+            tracer=tracer, parent_id=parent,
+        )
+        spans = [e for e in tracer.events if e.name == "slice.xfer"]
+        begins = [e for e in spans if e.kind == "begin"]
+        assert len(begins) == len(segments)
+        assert all(e.parent_id == parent for e in begins)
+        # Consecutive spans follow from their predecessor.
+        assert all(e.links for e in begins[1:])
+        for previous, event in zip(begins, begins[1:]):
+            assert event.links == (previous.span_id,)

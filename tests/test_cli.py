@@ -178,7 +178,8 @@ class TestObservabilityFlags:
         assert events
         names = {event.name for event in events}
         assert "planner.plan" in names
-        assert "flow.finish" in names
+        assert "flow" in names
+        assert "flow.rate_change" in names
         assert f"-> {out}" in capsys.readouterr().err
 
     def test_trace_chrome_format(self, trace_file, tmp_path):
@@ -507,6 +508,42 @@ class TestExplainCommands:
             e for e in payload["traceEvents"] if e["ph"] == "C"
         ]
         assert counters, "flight-recorder samples must export as counters"
+
+
+class TestCritpathCommand:
+    FAST = [
+        "--n", "6", "--k", "4", "--stripes", "4", "--chunk-mib", "4",
+        "--seed", "3",
+    ]
+
+    def test_critpath_renders_waterfall(self, trace_file, capsys):
+        code = main(
+            ["critpath", str(trace_file), *self.FAST,
+             "--foreground-rate", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "critical paths of" in out
+        assert "waterfall" in out
+        assert "crosscheck vs diagnose: consistent" in out
+
+    def test_critpath_json_payload_and_artifact(self, trace_file, tmp_path,
+                                                capsys):
+        artifact = tmp_path / "cp.json"
+        code = main(
+            ["--json", "critpath", str(trace_file), *self.FAST,
+             "--critpath-out", str(artifact)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["critpath"]
+        assert report["repairs"]
+        assert report["max_residual"] <= 1e-9
+        assert payload["crosscheck"] == []
+        for path in report["repairs"]:
+            covered = sum(seg["duration"] for seg in path["segments"])
+            assert abs(covered - path["makespan"]) <= 1e-9
+        assert json.loads(artifact.read_text()) == report
 
 
 class TestTopCommand:
