@@ -21,11 +21,14 @@ plain/instrumented repeats compared by median — not separate timing
 blocks, which let machine drift masquerade as (even negative)
 overhead — and each relative cost is gated at 5% when comparing.
 
-Two floor-gated sections ride along: ``engine_scale`` (the 1024-node
-repair storm under both allocation engines, ≥10x speedup enforced) and
+Three floor-gated sections ride along: ``engine_scale`` (the 1024-node
+repair storm under both allocation engines, ≥10x speedup enforced),
 ``lifetime`` (a pinned Monte-Carlo durability study, simulated-years
 per wall-second floor plus a pivot-loses-strictly-less acceptance
-check).  Their simulated metrics are drift-gated on compare.
+check), and ``storm`` (the fleet control plane draining four
+simultaneous full-node repairs, chunks-per-wall-second floor plus a
+controlled-breach-beats-the-flood acceptance check).  Their simulated
+metrics are drift-gated on compare.
 
 With ``--compare previous.json`` the run gates like CI does:
 
@@ -298,6 +301,76 @@ def lifetime_section(repeats: int) -> dict:
     }
 
 
+#: Hard floor for the control-plane storm: repair chunks drained (to a
+#: terminal state) per wall second (local machines run ~40/s; the floor
+#: absorbs slow CI runners).
+STORM_CHUNKS_PER_SECOND_FLOOR = 5.0
+
+
+def storm_section(repeats: int) -> dict:
+    """Time the fleet control plane on the pinned repair-storm scenario.
+
+    The tuned default :class:`repro.controlplane.StormConfig`: a 3-rack
+    fleet loses a whole rack, four simultaneous full-node repairs run
+    under QoS admission control, backpressure, and graceful degradation
+    while two foreground tenants hold a p99 SLO.  Simulated metrics
+    (breach seconds, chunk/decision counts, goodput) are bit-stable for
+    the seed and drift-gated on compare; the run fails outright if any
+    job fails to drain, if admission control does not strictly beat the
+    uncontrolled flood baseline on SLO breach-seconds, or if drained
+    chunks per wall second drop below
+    :data:`STORM_CHUNKS_PER_SECOND_FLOOR` — the control-plane
+    acceptance gate, not a soft metric.
+    """
+    from repro.controlplane import StormConfig, run_storm
+
+    controlled, wall = _timed(lambda: run_storm(StormConfig()), repeats)
+    flood = run_storm(StormConfig(admission_control=False, max_time=3000.0))
+    if not all(controlled.fleet.completed.values()) or not all(
+        flood.fleet.completed.values()
+    ):
+        raise SystemExit(
+            "storm suite: a repair job failed to drain — every job must "
+            "end repaired or as a clean RepairFailed"
+        )
+    if controlled.breach_seconds >= flood.breach_seconds:
+        raise SystemExit(
+            f"storm suite: controlled breach "
+            f"{controlled.breach_seconds:.1f}s not below the flood's "
+            f"{flood.breach_seconds:.1f}s — admission control must pay off"
+        )
+    chunks = controlled.fleet.chunks_repaired + controlled.fleet.chunks_failed
+    throughput = chunks / wall
+    if throughput < STORM_CHUNKS_PER_SECOND_FLOOR:
+        raise SystemExit(
+            f"storm suite: {throughput:.1f} drained chunks/s below the "
+            f"{STORM_CHUNKS_PER_SECOND_FLOOR:.0f}/s floor "
+            f"({chunks} chunks in {wall:.3f}s)"
+        )
+    counts = controlled.fleet.decision_counts()
+    return {
+        "jobs": len(controlled.fleet.jobs),
+        "sim": {
+            "chunks_repaired": controlled.fleet.chunks_repaired,
+            "chunks_failed": controlled.fleet.chunks_failed,
+            "breach_seconds": round(controlled.breach_seconds, 9),
+            "flood_breach_seconds": round(flood.breach_seconds, 9),
+            "sheds": counts.get("shed", 0),
+            "resumes": counts.get("resume", 0)
+            + counts.get("resume_forced", 0),
+            "decisions": sum(counts.values()),
+            "goodput_bytes_per_second": round(
+                controlled.foreground_summary["goodput_bytes_per_second"],
+                6,
+            ),
+        },
+        "chunks": chunks,
+        "wall_seconds": round(wall, 6),
+        "chunks_per_second": round(throughput, 2),
+        "chunks_per_second_floor": STORM_CHUNKS_PER_SECOND_FLOOR,
+    }
+
+
 def engine_scale_section(repeats: int) -> dict:
     """Time the 1024-node repair storm under both allocation engines.
 
@@ -463,6 +536,18 @@ def collect(repeats: int) -> dict:
     snapshot["engine_scale"] = engine_scale_section(repeats)
     # Lifetime event-loop gate: a pinned Monte-Carlo durability study.
     snapshot["lifetime"] = lifetime_section(repeats)
+    # Control-plane gate: the pinned repair storm, controlled vs flood.
+    snapshot["storm"] = storm_section(repeats)
+    print(
+        "storm: "
+        f"{snapshot['storm']['chunks']} chunks drained in "
+        f"{snapshot['storm']['wall_seconds']:.3f}s = "
+        f"{snapshot['storm']['chunks_per_second']:.1f}/s (floor "
+        f"{STORM_CHUNKS_PER_SECOND_FLOOR:.0f}/s), breach "
+        f"{snapshot['storm']['sim']['breach_seconds']:.1f}s controlled "
+        f"vs {snapshot['storm']['sim']['flood_breach_seconds']:.1f}s "
+        "flood"
+    )
     print(
         "lifetime: "
         f"{snapshot['lifetime']['simulated_years']} simulated years in "
@@ -656,7 +741,7 @@ def compare(current: dict, previous: dict, tolerance: float) -> list[str]:
     # engine speedup / lifetime throughput) are machine-dependent; their
     # hard floors are enforced at collect time on every run, so they are
     # recorded here but not re-gated.
-    for section in ("engine_scale", "lifetime"):
+    for section in ("engine_scale", "lifetime", "storm"):
         before_section = previous.get(section)
         now_section = current.get(section)
         if before_section is None or now_section is None:

@@ -1,6 +1,6 @@
 """CI chaos smoke: faulted repairs must re-plan, resume, and hedge.
 
-Four scenarios, all seeded and deterministic:
+Five scenarios, all seeded and deterministic:
 
 * **replan** (per seed): a full-node repair with a helper crash injected
   mid-run must detect the crash, re-plan at least one stripe (nonzero
@@ -16,6 +16,13 @@ Four scenarios, all seeded and deterministic:
 * **lifetime**: a short accelerated Monte-Carlo lifetime study (repair
   durations calibrated on the fluid simulator) must observe data loss
   under conventional repair and strictly fewer losses with PivotRepair.
+* **storm**: a whole-rack outage triggering four simultaneous full-node
+  repairs under foreground SLO pressure: the control plane must shed at
+  least one job, resume every shed job from its journaled watermark
+  (``task_start`` records with ``start_slice > 0``), fire *and* resolve
+  the SLO alert, drain every job (repaired or clean ``RepairFailed``),
+  and breach the foreground SLO for strictly fewer seconds than the
+  uncontrolled flood baseline that admits everything at once.
 
 Each scenario is isolated: an exception fails that scenario (recorded,
 not raised), the remaining scenarios still run, and the exit summary
@@ -139,6 +146,37 @@ def run_lifetime_smoke() -> dict:
     }
 
 
+def run_storm_smoke() -> dict:
+    """Repair storm: admission control must beat the uncontrolled flood."""
+    from repro.controlplane import StormConfig, run_storm
+
+    journal = RepairJournal()
+    controlled = run_storm(StormConfig(), journal=journal)
+    flood = run_storm(StormConfig(admission_control=False, max_time=3000.0))
+    counts = controlled.fleet.decision_counts()
+    resumed = sum(
+        1
+        for record in journal.all("task_start")
+        if record.data.get("start_slice", 0) > 0
+    )
+    alert_kinds = {kind for _, kind, _ in controlled.alerts}
+    return {
+        "sheds": counts.get("shed", 0),
+        "resumes": counts.get("resume", 0) + counts.get("resume_forced", 0),
+        "resumed_starts": resumed,
+        "alerts_fire": "fire" in alert_kinds,
+        "alerts_resolve": "resolve" in alert_kinds,
+        "controlled_breach": round(controlled.breach_seconds, 3),
+        "flood_breach": round(flood.breach_seconds, 3),
+        "controlled_drained": all(controlled.fleet.completed.values()),
+        "flood_drained": all(flood.fleet.completed.values()),
+        "chunks": controlled.fleet.chunks_repaired
+        + controlled.fleet.chunks_failed,
+        "flood_chunks": flood.fleet.chunks_repaired
+        + flood.fleet.chunks_failed,
+    }
+
+
 def _check_replan(seeds) -> tuple[bool, list[str]]:
     ok, lines = True, []
     for seed in seeds:
@@ -186,6 +224,28 @@ def _check_lifetime() -> tuple[bool, list[str]]:
     return ok, [line]
 
 
+def _check_storm() -> tuple[bool, list[str]]:
+    stats = run_storm_smoke()
+    line = (
+        "storm: {sheds} sheds, {resumes} resumes, {resumed_starts} "
+        "resumed starts, breach {controlled_breach}s controlled vs "
+        "{flood_breach}s flood, drained={controlled_drained}/"
+        "{flood_drained}".format(**stats)
+    )
+    ok = bool(
+        stats["sheds"] >= 1
+        and stats["resumes"] >= stats["sheds"]
+        and stats["resumed_starts"] >= 1
+        and stats["alerts_fire"]
+        and stats["alerts_resolve"]
+        and stats["controlled_drained"]
+        and stats["flood_drained"]
+        and stats["controlled_breach"] < stats["flood_breach"]
+        and stats["chunks"] == stats["flood_chunks"]
+    )
+    return ok, [line]
+
+
 def main() -> int:
     seeds = [int(s) for s in sys.argv[1:]] or [1, 2, 3]
     scenarios = [
@@ -193,6 +253,7 @@ def main() -> int:
         ("resume", _check_resume),
         ("hedge", _check_hedge),
         ("lifetime", _check_lifetime),
+        ("storm", _check_storm),
     ]
     failed: list[str] = []
     for name, check in scenarios:
@@ -210,8 +271,9 @@ def main() -> int:
         print(
             "chaos smoke FAILED in: " + ", ".join(failed)
             + " (expected replans + 0 failures, resumed starts after a "
-            "journaled crash, an adopted hedge, and strictly fewer "
-            "lifetime losses for PivotRepair)"
+            "journaled crash, an adopted hedge, strictly fewer "
+            "lifetime losses for PivotRepair, and a drained repair "
+            "storm whose controlled SLO breach beats the flood)"
         )
         return 1
     print("chaos smoke ok")

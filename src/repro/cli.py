@@ -46,6 +46,7 @@ import numpy as np
 
 import repro
 from repro.baselines import PPTPlanner, RPPlanner
+from repro.controlplane import StormConfig, run_storm
 from repro.core import BandwidthSnapshot, PivotRepairPlanner
 from repro.core.scheduler import SchedulerConfig
 from repro.ec import RSCode, place_stripes
@@ -369,6 +370,63 @@ def _build_parser() -> argparse.ArgumentParser:
     top.add_argument(
         "--tsdb-out", type=Path, default=None, metavar="PATH",
         help="write the final TSDB contents as JSONL",
+    )
+
+    storm = commands.add_parser(
+        "storm",
+        help="fleet repair storm under control-plane admission",
+        description="Simulate a correlated failure storm: a whole rack "
+        "loses power under Zipf foreground load, a gray wave degrades "
+        "survivors, and one full-node repair job per crashed node runs "
+        "over the fleet control plane — global Eq. 3 arbitration, "
+        "QoS-aged admission tokens, SLO/saturation backpressure with "
+        "journaled pause/resume, and graceful helper/slice "
+        "degradation.  --no-admission-control runs the uncontrolled "
+        "baseline (everything starts at once, nothing sheds) for "
+        "comparison.  Bit-deterministic for a fixed seed.",
+    )
+    storm.add_argument("--seed", type=int, default=42)
+    storm.add_argument("--racks", type=int, default=3)
+    storm.add_argument("--nodes-per-rack", type=int, default=4)
+    storm.add_argument("--stripes", type=int, default=20)
+    storm.add_argument("--n", type=int, default=6)
+    storm.add_argument("--k", type=int, default=4)
+    storm.add_argument("--chunk-mib", type=float, default=24.0)
+    storm.add_argument(
+        "--node-mbs", type=float, default=25.0,
+        help="base per-node link capacity, MB/s",
+    )
+    storm.add_argument(
+        "--outage-at", type=float, default=0.05, metavar="SECONDS",
+        help="rack power loss instant",
+    )
+    storm.add_argument(
+        "--no-gray-wave", action="store_true",
+        help="skip the post-outage gray degradation on surviving racks",
+    )
+    storm.add_argument("--foreground-rate", type=float, default=80.0)
+    storm.add_argument("--foreground-duration", type=float, default=50.0)
+    storm.add_argument("--tenants", type=int, default=2)
+    storm.add_argument(
+        "--slo-ms", type=float, default=60.0,
+        help="foreground latency SLO threshold",
+    )
+    storm.add_argument(
+        "--max-streams", type=int, default=4,
+        help="admission: concurrent repair stream tokens",
+    )
+    storm.add_argument(
+        "--max-jobs", type=int, default=3,
+        help="admission: concurrently admitted repair jobs",
+    )
+    storm.add_argument(
+        "--no-admission-control", action="store_true",
+        help="uncontrolled baseline: admit everything, never shed",
+    )
+    storm.add_argument("--max-time", type=float, default=600.0)
+    storm.add_argument(
+        "--journal", type=Path, default=None, metavar="PATH",
+        help="append-only fleet journal (pause/resume checkpoints)",
     )
 
     lifetime = commands.add_parser(
@@ -1416,11 +1474,79 @@ def _metrics_block(args, payload: dict) -> str:
     return "\ntelemetry:\n" + json.dumps(telemetry, indent=2)
 
 
+def _cmd_storm(args, tracer) -> dict:
+    journal = (
+        RepairJournal(args.journal, tracer=tracer)
+        if args.journal is not None
+        else None
+    )
+    config = StormConfig(
+        seed=args.seed,
+        racks=args.racks,
+        nodes_per_rack=args.nodes_per_rack,
+        outage_at=args.outage_at,
+        gray_wave=not args.no_gray_wave,
+        stripes=args.stripes,
+        n=args.n,
+        k=args.k,
+        chunk_mib=args.chunk_mib,
+        node_mbs=args.node_mbs,
+        foreground_rate=args.foreground_rate,
+        foreground_duration=args.foreground_duration,
+        tenants=args.tenants,
+        slo_seconds=args.slo_ms / 1000.0,
+        engine=args.engine,
+        admission_control=not args.no_admission_control,
+        max_streams=args.max_streams,
+        max_jobs=args.max_jobs,
+        max_time=args.max_time,
+    )
+    report = run_storm(config, tracer=tracer, journal=journal)
+    payload = report.as_dict()
+    payload["rendered"] = _render_storm(payload)
+    return payload
+
+
+def _render_storm(payload: dict) -> str:
+    jobs = payload["jobs"]
+    mode = (
+        "admission control"
+        if payload["admission_control"]
+        else "UNCONTROLLED baseline"
+    )
+    decision_line = ", ".join(
+        f"{action} {count}"
+        for action, count in payload["decisions"].items()
+    )
+    lines = [
+        f"repair storm (seed {payload['seed']}, {mode}): "
+        f"{len(jobs)} node repairs, "
+        f"{payload['chunks_repaired']} chunks repaired, "
+        f"{payload['chunks_failed']} failed cleanly, "
+        f"{payload['total_seconds']:.2f}s simulated",
+        format_table(
+            ["job", "qos", "repaired", "failed", "drained"],
+            [
+                (
+                    job_id, entry["qos"], str(entry["repaired"]),
+                    str(entry["failed"]),
+                    "yes" if entry["completed"] else "NO",
+                )
+                for job_id, entry in jobs.items()
+            ],
+        ),
+        "decisions: " + (decision_line or "none"),
+        f"SLO: {len(payload['alerts'])} alert transitions, "
+        f"{payload['breach_seconds']:.2f}s in breach",
+    ]
+    return "\n".join(lines)
+
+
 def _render(args, payload: dict) -> str:
     if args.json:
         payload = {k: v for k, v in payload.items() if k != "rendered"}
         return json.dumps(payload, indent=2)
-    if args.command in ("explain", "report", "top", "critpath"):
+    if args.command in ("explain", "report", "top", "critpath", "storm"):
         return payload["rendered"]
     if args.command == "plan":
         lines = [
@@ -1628,6 +1754,8 @@ def main(argv: list[str] | None = None) -> int:
             payload = _cmd_report(args, tracer)
         elif args.command == "top":
             payload = _cmd_top(args, tracer)
+        elif args.command == "storm":
+            payload = _cmd_storm(args, tracer)
         elif args.command == "lifetime":
             payload = _cmd_lifetime(args, tracer)
         elif args.command == "resume":

@@ -1,0 +1,581 @@
+"""Fleet-level repair control plane: admission, backpressure, degradation.
+
+One :class:`ControlPlane` arbitrates N concurrent full-node repair jobs
+(:class:`~repro.repair.jobmaster.StripeRepairMaster`, one per failed
+node) over a single shared :class:`~repro.network.simulator.FluidSimulator`:
+
+* a global Eq. 3-style priority queue picks *which* admitted job's head
+  stripe starts next (recommendation value across the whole fleet's
+  running tasks, QoS-biased);
+* the admission gate (:mod:`repro.controlplane.admission`) bounds
+  concurrent repair streams and in-flight bytes, with priority aging so
+  no queued job starves;
+* the backpressure monitor (:mod:`repro.controlplane.backpressure`)
+  sheds load — pausing the lowest-priority admitted job, checkpointed
+  through the resilience journal so resume re-transfers nothing — when
+  foreground SLOs burn or link saturation spreads;
+* the degradation policy escalates repeatedly-faulted jobs to fewer
+  helpers and coarser slices instead of letting them fail.
+
+**Drain-order invariant**: every enqueued job eventually reaches a
+terminal state — all of its stripes repaired or surfaced as clean
+``RepairFailed`` — because (i) at least ``min_active_jobs`` admitted
+jobs always keep running, (ii) a fleet that has gone idle force-starts
+the best candidate below the Eq. 3 threshold after ``max_idle_wait``,
+and (iii) paused jobs are force-resumed once no admitted job has work
+left, even if pressure never formally relieves.
+See docs/control_plane.md for the state machine.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import math
+from dataclasses import dataclass, field
+
+from repro.core.scheduler import SchedulerConfig, recommendation_value
+from repro.exceptions import ClusterError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.network.simulator import FluidSimulator
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.repair.jobmaster import StripeRepairMaster
+from repro.repair.metrics import FullNodeResult
+from repro.repair.pipeline import ExecutionConfig, remaining_bytes_per_edge
+
+from repro.controlplane.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    QOS_CLASSES,
+    QoSClass,
+)
+from repro.controlplane.backpressure import (
+    BackpressureConfig,
+    BackpressureMonitor,
+)
+
+__all__ = [
+    "DegradationPolicy",
+    "RepairJob",
+    "FleetResult",
+    "ControlPlane",
+]
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """When do a job's fault requeues escalate its degradation level?
+
+    Level 0 is normal planning; level 1 trims helper candidate sets to
+    exactly ``k``; level 2 additionally coarsens slice width and caps
+    the submit rate (see ``StripeRepairMaster``).  A job escalates one
+    level per ``escalate_after`` cumulative fault-requeue events, up to
+    ``max_level``; levels never relax within a run (a cluster sick
+    enough to escalate does not deserve the benefit of the doubt
+    mid-storm).
+    """
+
+    escalate_after: int = 2
+    max_level: int = 2
+
+    def __post_init__(self) -> None:
+        if self.escalate_after < 0:
+            raise ClusterError("escalate_after cannot be negative")
+        if self.max_level < 0:
+            raise ClusterError("max_level cannot be negative")
+
+    def level_for(self, requeue_events: int) -> int:
+        if self.escalate_after == 0:
+            return 0
+        return min(self.max_level, requeue_events // self.escalate_after)
+
+
+@dataclass
+class RepairJob:
+    """One enqueued full-node repair and its control-plane state."""
+
+    job_id: str
+    index: int
+    master: StripeRepairMaster
+    qos: QoSClass
+    enqueued_at: float
+    #: ``queued`` → ``admitted`` ⇄ ``paused`` → ``done``.
+    state: str = "queued"
+    admitted_at: float | None = None
+    result: FullNodeResult | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state == "done"
+
+
+@dataclass
+class FleetResult:
+    """Outcome of a control-plane run."""
+
+    total_seconds: float
+    #: job_id -> per-job outcome, in enqueue order.
+    jobs: dict[str, FullNodeResult] = field(default_factory=dict)
+    #: job_id -> True once the job drained (all stripes repaired/failed).
+    completed: dict[str, bool] = field(default_factory=dict)
+    #: job_id -> QoS class name.
+    qos: dict[str, str] = field(default_factory=dict)
+    #: The admission controller's deterministic decision log.
+    decisions: list[dict] = field(default_factory=list)
+
+    def decision_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for entry in self.decisions:
+            counts[entry["action"]] = counts.get(entry["action"], 0) + 1
+        return dict(sorted(counts.items()))
+
+    @property
+    def chunks_repaired(self) -> int:
+        return sum(r.chunks_repaired for r in self.jobs.values())
+
+    @property
+    def chunks_failed(self) -> int:
+        return sum(r.chunks_failed for r in self.jobs.values())
+
+
+class ControlPlane:
+    """Run N repair jobs over one simulator under admission control."""
+
+    def __init__(
+        self,
+        sim: FluidSimulator,
+        network,
+        *,
+        scheduler: SchedulerConfig | None = None,
+        admission: AdmissionConfig | None = None,
+        backpressure: BackpressureConfig | None = None,
+        degradation: DegradationPolicy | None = None,
+        faults: FaultPlan | None = None,
+        tracer=NULL_TRACER,
+        foreground=None,
+        governor=None,
+        slo_monitor=None,
+        journal=None,
+        qos_dispatch_bias: float = 0.0,
+    ):
+        self.sim = sim
+        #: Fault-wrapped topology shared by every master (wrap once —
+        #: the caller passes ``FaultyNetwork.wrap(network, faults)``).
+        self.network = network
+        self.scheduler = scheduler or SchedulerConfig()
+        self.admission = AdmissionController(admission)
+        self.backpressure = BackpressureMonitor(backpressure, slo_monitor)
+        self.degradation = degradation or DegradationPolicy()
+        self.faults = faults
+        self.tracer = tracer
+        self.foreground = foreground
+        self.governor = governor
+        self.journal = journal
+        #: Weight turning effective priority into a recommendation-value
+        #: bonus at dispatch.  0 (default) keeps dispatch purely Eq. 3 —
+        #: QoS then acts through admission and shed order only.
+        self.qos_dispatch_bias = qos_dispatch_bias
+        self.registry = MetricsRegistry()
+        #: One injector for the whole fleet; per-master drivers are
+        #: re-pointed at it so a fault event announces exactly once.
+        self.injector = FaultInjector(
+            faults if faults is not None else FaultPlan.none(),
+            tracer, self.registry,
+        )
+        self.jobs: list[RepairJob] = []
+        self._owner: dict[int, StripeRepairMaster] = {}
+        self._idle_since: float | None = None
+        self._dead_nodes: set[int] = set()
+        if foreground is not None:
+            foreground.bind(sim, network)
+
+    # ------------------------------------------------------------------
+    # Job intake
+    # ------------------------------------------------------------------
+    def add_job(
+        self,
+        job_id: str,
+        planner,
+        stripes,
+        failed_node: int,
+        qos: str | QoSClass = "silver",
+        *,
+        config: ExecutionConfig | None = None,
+        retry_policy=None,
+    ) -> RepairJob:
+        """Enqueue one full-node repair; it starts only when admitted."""
+        if any(job.job_id == job_id for job in self.jobs):
+            raise ClusterError(f"duplicate job id {job_id!r}")
+        if isinstance(qos, str):
+            try:
+                qos = QOS_CLASSES[qos]
+            except KeyError:
+                raise ClusterError(
+                    f"unknown QoS class {qos!r}; "
+                    f"expected one of {sorted(QOS_CLASSES)}"
+                ) from None
+        master = StripeRepairMaster(
+            job_id, planner, self.network, stripes, failed_node,
+            sim=self.sim, config=config, tracer=self.tracer,
+            faults=self.faults, retry_policy=retry_policy,
+            journal=self.journal,
+        )
+        master.driver.advance = self._routed_advance
+        master.driver.injector = self.injector
+        if self.foreground is not None:
+            master.on_chunk_repaired = self.foreground.note_repaired
+        job = RepairJob(
+            job_id=job_id, index=len(self.jobs), master=master, qos=qos,
+            enqueued_at=self.sim.now,
+        )
+        self.jobs.append(job)
+        self.admission.record(
+            self.sim.now, "enqueue", job, qos=qos.name,
+            stripes=len(master.pending),
+        )
+        return job
+
+    # ------------------------------------------------------------------
+    # Clock plumbing: every advance routes completions to their owner
+    # ------------------------------------------------------------------
+    def _routed_advance(self, t: float) -> list:
+        """Advance the shared clock to ``t``; deliver completions.
+
+        Installed as every master's ``driver.advance`` hook, so a
+        detection window opened by one job still completes and delivers
+        *another* job's tasks.  Returns ``[]`` — ownership routing
+        already collected everything.
+        """
+        if self.foreground is not None:
+            done = self.foreground.drive_to(t)
+        else:
+            done = self.sim.advance_to(t)
+        self._route(done)
+        return []
+
+    def _run_until_event(self, bound: float) -> None:
+        if self.foreground is not None:
+            done = self.foreground.run_until_repair_event(max_time=bound)
+        else:
+            done = self.sim.run_until_completion(max_time=bound)
+        self._route(done)
+        if self.sim.now < bound and not done:
+            # Nothing live could advance the clock (fleet fully idle):
+            # jump to the bound so aging/backpressure still make progress.
+            self._routed_advance(bound)
+
+    def _route(self, handles) -> None:
+        for handle in handles:
+            master = self._owner.pop(handle.task_id, None)
+            if master is not None:
+                master.collect([handle])
+
+    def _reconcile_owners(self) -> None:
+        """Drop ownership of tasks their master no longer tracks.
+
+        Fault ticks and pauses cancel tasks inside the master; the
+        cancelled ids will never complete, so routing entries for them
+        are dead weight.
+        """
+        self._owner = {
+            task_id: master
+            for task_id, master in self._owner.items()
+            if task_id in master.in_flight
+        }
+
+    # ------------------------------------------------------------------
+    # Control steps
+    # ------------------------------------------------------------------
+    def _admitted(self) -> list[RepairJob]:
+        return [job for job in self.jobs if job.state == "admitted"]
+
+    def _paused(self) -> list[RepairJob]:
+        return [job for job in self.jobs if job.state == "paused"]
+
+    def _queued(self) -> list[RepairJob]:
+        return [job for job in self.jobs if job.state == "queued"]
+
+    def _active_streams(self) -> int:
+        return sum(len(job.master.in_flight) for job in self._admitted())
+
+    def _tick_faults(self) -> None:
+        self.injector.announce_until(self.sim.now)
+        if self.faults is not None:
+            dead = self.faults.dead_nodes(self.sim.now)
+            newly = dead - self._dead_nodes
+            if newly:
+                self._dead_nodes = dead
+                if self.foreground is not None and hasattr(
+                    self.foreground, "abort_flows_touching"
+                ):
+                    # Flows already crossing a crashed node sit at zero
+                    # rate forever; kill them so the drain terminates.
+                    aborted = self.foreground.abort_flows_touching(newly)
+                    if aborted and self.tracer.enabled:
+                        self.tracer.instant(
+                            "plane.fg_abort", t=self.sim.now, track="plane",
+                            nodes=sorted(newly), flows=aborted,
+                        )
+        for job in self._admitted():
+            job.master.tick()
+            level = self.degradation.level_for(job.master.requeue_events)
+            if job.master.degrade_to(level):
+                self.admission.record(
+                    self.sim.now, "degrade", job, level=level,
+                    requeues=job.master.requeue_events,
+                )
+        self._reconcile_owners()
+
+    def _apply_governor(self) -> float | None:
+        if self.governor is None:
+            return None
+        cap = self.governor.repair_rate_cap(self.sim.now, self.foreground)
+        if self.sim.sampler is not None:
+            self.sim.sampler.note_governor_cap(cap)
+        for job in self._admitted():
+            for flight in job.master.in_flight.values():
+                self.sim.set_task_max_rate(flight.handle, cap)
+        self.registry.gauge("repair_rate_cap").set(
+            -1.0 if cap is None else cap
+        )
+        return cap
+
+    def _backpressure_step(self) -> None:
+        now = self.sim.now
+        admitted = self._admitted()
+        paused = self._paused()
+        overloaded, detail = self.backpressure.overloaded(self.sim)
+        min_active = self.backpressure.config.min_active_jobs
+        if overloaded and len(admitted) > min_active:
+            # Shed one job per evaluation — gentle, hysteresis does the
+            # rest.  Only jobs actually holding streams relieve pressure.
+            candidates = [j for j in admitted if j.master.in_flight]
+            victim = self.admission.pick_shed(candidates or admitted, now)
+            if victim is not None:
+                released = victim.master.pause()
+                victim.state = "paused"
+                self._reconcile_owners()
+                self.admission.record(
+                    now, "shed", victim,
+                    breadth=round(detail["breadth"], 6),
+                    firing=detail["firing"],
+                    released_bytes=released,
+                )
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "plane.shed", t=now, track="plane",
+                        job=victim.job_id, breadth=detail["breadth"],
+                        firing=detail["firing"],
+                    )
+            return
+        if not paused:
+            return
+        relieved, detail = self.backpressure.relieved(self.sim)
+        admitted_runnable = any(
+            job.master.pending or job.master.in_flight for job in admitted
+        )
+        if not relieved and admitted_runnable:
+            return
+        # Relieved — or nothing admitted can run anymore, in which case
+        # the drain-order invariant forces a resume regardless.
+        job = self.admission.pick_resume(paused, now)
+        if job is None:
+            return
+        job.state = "admitted"
+        job.master.note_resumed()
+        self.admission.record(
+            now, "resume" if relieved else "resume_forced", job,
+            breadth=round(detail["breadth"], 6), firing=detail["firing"],
+        )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "plane.resume", t=now, track="plane", job=job.job_id,
+                forced=not relieved,
+            )
+
+    def _admission_step(self) -> None:
+        now = self.sim.now
+        while True:
+            queued = self._queued()
+            if not queued:
+                return
+            held = len(self._admitted()) + len(self._paused())
+            if not self.admission.may_admit_job(held):
+                return
+            job = self.admission.pick_admit(queued, now)
+            job.state = "admitted"
+            job.admitted_at = now
+            self.admission.record(
+                now, "admit", job,
+                priority=self.admission.effective_priority(job, now),
+                waited=now - job.enqueued_at,
+            )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "plane.admit", t=now, track="plane", job=job.job_id,
+                    qos=job.qos.name, waited=now - job.enqueued_at,
+                )
+
+    def _dispatch(self, cap: float | None) -> None:
+        """Start admitted jobs' head stripes while tokens and Eq. 3 allow."""
+        while True:
+            streams = self._active_streams()
+            inflight = self.sim.inflight_bytes(kind="repair")
+            if not self.admission.may_start_stream(streams, inflight, 0.0):
+                return
+            candidates = []
+            running = [
+                task
+                for job in self._admitted()
+                for task in job.master.running_tasks()
+            ]
+            for job in self._admitted():
+                if not job.master.pending:
+                    continue
+                planned = job.master.candidate()
+                if planned is None:
+                    continue
+                stripe, plan = planned
+                value = recommendation_value(
+                    plan.tree, plan.bmin, running, self.sim.now,
+                    self.scheduler, tracer=self.tracer,
+                )
+                bias = self.qos_dispatch_bias * (
+                    self.admission.effective_priority(job, self.sim.now)
+                )
+                candidates.append((value + bias, -job.index, job,
+                                   stripe, plan))
+            if not candidates:
+                return
+            candidates.sort(key=lambda c: (c[0], c[1]), reverse=True)
+            score, _, job, stripe, plan = candidates[0]
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "plane.round", t=self.sim.now, track="plane",
+                    candidates=len(candidates), streams=streams,
+                    best_job=job.job_id,
+                    best_stripe=stripe.stripe_id, best_value=score,
+                )
+            if score < self.scheduler.threshold:
+                if streams > 0:
+                    return
+                if self._idle_since is None:
+                    self._idle_since = self.sim.now
+                if (
+                    self.sim.now - self._idle_since
+                    < self.scheduler.max_idle_wait
+                ):
+                    return
+                # Idle too long below threshold: force-start the best
+                # candidate so the fleet always drains.
+            self._idle_since = None
+            if not self.admission.may_start_stream(
+                streams, inflight, self._plan_bytes(job, stripe, plan),
+            ):
+                return
+            planning_span = job.master.book.begin_planning(
+                stripe.stripe_id, self.sim.now
+            )
+            self._routed_advance(
+                self.sim.now + plan.effective_planning_seconds
+            )
+            job.master.book.end_planning(
+                planning_span, stripe.stripe_id, self.sim.now
+            )
+            # The detection window may have killed or finished things;
+            # re-check the stripe is still this master's to start.
+            if stripe not in job.master.pending:
+                continue
+            flight = job.master.submit(
+                stripe, plan, max_rate=cap, planning_span=planning_span,
+            )
+            self._owner[flight.handle.task_id] = job.master
+            self.admission.record(
+                self.sim.now, "start", job, stripe=stripe.stripe_id,
+                value=score, start_slice=flight.start_slice,
+            )
+
+    def _plan_bytes(self, job, stripe, plan) -> float:
+        """Bytes the stripe's submission would put in flight."""
+        config = job.master._config_for(stripe)
+        depth = plan.tree.depth() if plan.tree is not None else 1
+        start = job.master.driver.resume_slice(stripe, plan)
+        per_edge = remaining_bytes_per_edge(config, depth, start)
+        edges = len(plan.tree.edges()) if plan.tree is not None else 1
+        return per_edge * edges
+
+    def _finalize_done(self) -> None:
+        for job in self.jobs:
+            if job.state in ("admitted", "paused") and job.master.done:
+                job.state = "done"
+                job.result = job.master.build_result()
+                self.admission.record(
+                    self.sim.now, "complete", job,
+                    repaired=len(job.master.results),
+                    failed=len(job.master.failures),
+                )
+                if job.master.journal is not None:
+                    job.master.journal.append(
+                        "job_done", t=self.sim.now,
+                        repaired=len(job.master.results),
+                        failed=len(job.master.failures),
+                    )
+                if self.tracer.enabled:
+                    self.tracer.instant(
+                        "plane.complete", t=self.sim.now, track="plane",
+                        job=job.job_id,
+                        repaired=len(job.master.results),
+                        failed=len(job.master.failures),
+                    )
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, max_time: float = math.inf) -> FleetResult:
+        """Drive every job to a terminal state (bounded by ``max_time``)."""
+        if not self.jobs:
+            raise ClusterError("control plane has no jobs to run")
+        start = self.sim.now
+        with contextlib.ExitStack() as stack:
+            for planner in dict.fromkeys(
+                job.master.planner for job in self.jobs
+            ):
+                stack.enter_context(planner.traced(self.tracer))
+            while not all(job.terminal for job in self.jobs):
+                self._tick_faults()
+                cap = self._apply_governor()
+                self._backpressure_step()
+                self._admission_step()
+                self._dispatch(cap)
+                self._finalize_done()
+                if all(job.terminal for job in self.jobs):
+                    break
+                if self.sim.now >= max_time:
+                    break
+                self._run_until_event(self._event_bound(max_time))
+                self._finalize_done()
+        result = FleetResult(
+            total_seconds=self.sim.now - start,
+            decisions=list(self.admission.decisions),
+        )
+        for job in self.jobs:
+            outcome = job.result if job.result is not None \
+                else job.master.build_result()
+            result.jobs[job.job_id] = outcome
+            result.completed[job.job_id] = job.master.done
+            result.qos[job.job_id] = job.qos.name
+        return result
+
+    def _event_bound(self, max_time: float) -> float:
+        bound = self.sim.now + self.backpressure.config.check_interval
+        for job in self._admitted():
+            bound = min(
+                bound,
+                job.master.driver.run_bound(job.master.in_flight),
+            )
+        if self.governor is not None and math.isfinite(
+            self.governor.decision_interval
+        ):
+            bound = min(bound, self.sim.now + self.governor.decision_interval)
+        return min(bound, max_time)

@@ -307,6 +307,57 @@ class FaultPlan:
             )
         return cls(events)
 
+    @classmethod
+    def rack_outage(
+        cls,
+        rack_nodes: Sequence[int],
+        at: float = 0.0,
+        *,
+        gray_nodes: Sequence[int] = (),
+        gray_start: float | None = None,
+        gray_duration: float = 10.0,
+        gray_factor: float = 0.4,
+        gray_direction: str = "up",
+    ) -> FaultPlan:
+        """A correlated rack power loss, optionally with a gray tail.
+
+        Every node in ``rack_nodes`` crashes simultaneously at ``at`` —
+        the storm scenario of ROADMAP item 5, where one failure domain
+        takes out several chunk holders at once and triggers as many
+        concurrent full-node repairs.  ``gray_nodes`` models the
+        cascading gray failure that often follows a power event (PSU
+        failover browning out neighbouring racks' links): each listed
+        survivor's ``gray_direction`` link degrades to ``gray_factor``
+        of capacity for ``gray_duration`` seconds starting at
+        ``gray_start`` (default: the outage instant plus one second, so
+        repairs are already in flight when the links sag).
+        """
+        if not rack_nodes:
+            raise FaultError("a rack outage needs at least one node")
+        events: list[FaultEvent] = [
+            NodeCrash(node=node, time=at) for node in sorted(rack_nodes)
+        ]
+        if gray_nodes:
+            start = gray_start if gray_start is not None else at + 1.0
+            dead = set(rack_nodes)
+            for node in sorted(gray_nodes):
+                if node in dead:
+                    raise FaultError(
+                        f"gray node {node} is already crashed by the outage"
+                    )
+                events.append(
+                    LinkDegradation(
+                        node=node, start=start,
+                        end=start + gray_duration,
+                        factor=gray_factor, direction=gray_direction,
+                    )
+                )
+        return cls(events)
+
+    def merged(self, other: FaultPlan) -> FaultPlan:
+        """Union of two plans' events (storm = outage plan + chaos plan)."""
+        return FaultPlan(self._events + other._events)
+
     def shifted(self, delta: float) -> FaultPlan:
         """A copy with every event time offset by ``delta`` seconds.
 

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+import zlib
 from dataclasses import dataclass
 
 from repro.exceptions import FaultError
@@ -22,12 +24,27 @@ class RetryPolicy:
     (``backoff_base * backoff_factor**retry``) before re-planning;
     ``max_retries`` bounds the number of re-plans before the repair
     aborts with a ``RepairFailed`` result.
+
+    Two storm-hardening knobs temper the exponential curve.
+    ``max_backoff`` clamps the wait so a deeply-retried repair in a
+    long storm does not sleep for minutes.  ``jitter`` decorrelates
+    simultaneous retries: a correlated rack outage fails many repairs
+    at the *same* simulated instant, and without jitter every one of
+    them re-plans in lockstep and re-collides on the same links at
+    every retry.  The jittered wait is drawn deterministically from
+    ``[1 - jitter, 1] * clamped_backoff`` using a CRC-32 hash of
+    ``(jitter_seed, key, retry)`` — no global RNG state, so two runs
+    with the same seed produce byte-identical schedules, and distinct
+    ``key`` values (stripe id, job id) land at distinct offsets.
     """
 
     detection_timeout: float = 0.5
     max_retries: int = 3
     backoff_base: float = 0.25
     backoff_factor: float = 2.0
+    max_backoff: float = math.inf
+    jitter: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.detection_timeout < 0:
@@ -38,16 +55,40 @@ class RetryPolicy:
             raise FaultError("backoff_base cannot be negative")
         if self.backoff_factor < 1.0:
             raise FaultError("backoff_factor must be >= 1")
+        if self.max_backoff <= 0:
+            raise FaultError("max_backoff must be positive")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise FaultError("jitter must be in [0, 1]")
 
-    def backoff(self, retry: int) -> float:
-        """Seconds to wait before retry number ``retry`` (0-based)."""
+    def backoff(self, retry: int, key: int = 0) -> float:
+        """Seconds to wait before retry number ``retry`` (0-based).
+
+        ``key`` decorrelates concurrent retriers: callers pass a stable
+        identity (stripe id, job hash) so simultaneous failures back off
+        to *different* instants.  With the default ``jitter=0`` the key
+        is irrelevant and the classic deterministic exponential curve is
+        returned unchanged.
+        """
         if retry < 0:
             raise FaultError(f"retry index {retry} is negative")
-        return self.backoff_base * self.backoff_factor**retry
+        wait = min(
+            self.backoff_base * self.backoff_factor**retry,
+            self.max_backoff,
+        )
+        if self.jitter == 0.0 or wait == 0.0:
+            return wait
+        digest = zlib.crc32(
+            f"{self.jitter_seed}:{key}:{retry}".encode()
+        )
+        # Uniform in [0, 1) from the 32-bit digest; multiplier spans
+        # [1 - jitter, 1] so jitter only ever *shortens* the wait and the
+        # clamp above stays the hard ceiling.
+        unit = digest / 2**32
+        return wait * (1.0 - self.jitter * unit)
 
     @classmethod
     def from_spec(cls, spec: str) -> RetryPolicy:
-        """Parse ``timeout=0.5,retries=3,backoff=0.25x2``.
+        """Parse ``timeout=0.5,retries=3,backoff=0.25x2,jitter=0.5,maxbackoff=4``.
 
         Every key is optional; omitted keys keep their defaults.
         """
@@ -74,6 +115,15 @@ class RetryPolicy:
                         kwargs["backoff_factor"] = float(factor)
                     else:
                         kwargs["backoff_base"] = float(value)
+                elif key == "maxbackoff":
+                    kwargs["max_backoff"] = float(value)
+                elif key == "jitter":
+                    if "@" in value:
+                        amount, seed = value.split("@", 1)
+                        kwargs["jitter"] = float(amount)
+                        kwargs["jitter_seed"] = int(seed)
+                    else:
+                        kwargs["jitter"] = float(value)
                 else:
                     raise FaultError(f"unknown retry-policy key {key!r}")
             except ValueError:

@@ -63,6 +63,13 @@ class ForegroundEngine:
         recent_window: seconds of completed reads the governors see.
         tsdb: optional :class:`~repro.obs.timeseries.TimeSeriesDB`;
             every completion appends per-tenant latency and byte series.
+        drop_dead_clients: when True, requests whose *client* node is
+            unavailable at submission time are dropped (counted under
+            ``fg_client_dead``) instead of submitted.  A dead client
+            cannot issue traffic, and a flow touching a crashed node
+            (zero capacity) would sit at zero rate forever.  Off by
+            default: historical scenarios model the repaired node as
+            logically failed while its links stay up.
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class ForegroundEngine:
         registry: MetricsRegistry | None = None,
         recent_window: float = 5.0,
         tsdb=None,
+        drop_dead_clients: bool = False,
     ):
         if recent_window <= 0:
             raise LoadGenError("recent window must be positive")
@@ -85,6 +93,7 @@ class ForegroundEngine:
         self.registry = registry or MetricsRegistry()
         self.recent_window = recent_window
         self.tsdb = tsdb
+        self.drop_dead_clients = drop_dead_clients
         self._queue = deque(sorted(requests, key=lambda r: r.arrival))
         for request in self._queue:
             if request.stripe_id not in self.stripes:
@@ -95,7 +104,10 @@ class ForegroundEngine:
         self.sim: FluidSimulator | None = None
         self.network = None
         self._offset = 0.0
-        self._pending: dict[int, tuple[ClientRequest, float, bool]] = {}
+        #: task_id -> (request, arrival, degraded?, touched nodes, handle).
+        self._pending: dict[
+            int, tuple[ClientRequest, float, bool, frozenset[int], TaskHandle]
+        ] = {}
         self._recent: deque[tuple[float, float]] = deque()
         #: (stripe_id, chunk_index) -> node that now holds the rebuilt
         #: chunk (filled by the repair orchestrator as stripes complete).
@@ -215,6 +227,9 @@ class ForegroundEngine:
         arrival = request.arrival + self._offset
         self.registry.counter("fg_requests").inc()
         self.registry.counter("fg_requests", tenant=request.tenant).inc()
+        if self.drop_dead_clients and self._unavailable(request.client, now):
+            self.registry.counter("fg_client_dead").inc()
+            return
         if request.kind == READ:
             self._submit_read(request, arrival, now)
         else:
@@ -246,7 +261,10 @@ class ForegroundEngine:
                 kind=FOREGROUND,
                 meta=self._flow_meta(request),
             )
-            self._pending[handle.task_id] = (request, arrival, False)
+            self._pending[handle.task_id] = (
+                request, arrival, False,
+                frozenset((holder, request.client)), handle,
+            )
             return
         self._submit_degraded_read(request, arrival, now)
 
@@ -272,15 +290,21 @@ class ForegroundEngine:
             return
         # The whole tree streams the requested range: each edge carries
         # the read size (pipeline fill is negligible at request sizes).
+        edges = plan.tree.edges()
         handle = self.sim.submit_pipelined(
-            plan.tree.edges(),
+            edges,
             float(request.size),
             label=f"fg-dread-s{request.stripe_id}",
             kind=FOREGROUND,
             meta=self._flow_meta(request),
         )
         self.registry.counter("fg_degraded_reads").inc()
-        self._pending[handle.task_id] = (request, arrival, True)
+        touched = frozenset(
+            node for edge in edges for node in edge
+        ) | {request.client}
+        self._pending[handle.task_id] = (
+            request, arrival, True, touched, handle,
+        )
 
     def _submit_write(
         self, request: ClientRequest, arrival: float, now: float
@@ -309,7 +333,10 @@ class ForegroundEngine:
             transfers, label=f"fg-write-s{request.stripe_id}",
             kind=FOREGROUND, meta=self._flow_meta(request),
         )
-        self._pending[handle.task_id] = (request, arrival, False)
+        touched = frozenset(dst for _, dst, _ in transfers) | {request.client}
+        self._pending[handle.task_id] = (
+            request, arrival, False, touched, handle,
+        )
 
     def _finish_local(
         self, request: ClientRequest, arrival: float, now: float
@@ -320,6 +347,34 @@ class ForegroundEngine:
                 request=request, arrival=arrival, finished=now, local=True
             )
         )
+
+    def abort_flows_touching(self, nodes: Iterable[int]) -> int:
+        """Cancel in-flight foreground flows crossing any of ``nodes``.
+
+        A node crash zeroes its link capacities, so a flow already
+        crossing it would sit at zero rate forever and wedge the final
+        drain.  The control plane calls this when fault announcements
+        reveal newly dead nodes.  Aborted requests count under
+        ``fg_aborted`` (plus ``fg_read_failures`` for reads) and produce
+        no outcome, like any other failed request.  Returns the number
+        of flows cancelled.
+        """
+        sim = self._require_bound()
+        doomed = frozenset(nodes)
+        if not doomed:
+            return 0
+        aborted = 0
+        for task_id in sorted(self._pending):
+            request, _, _, touched, handle = self._pending[task_id]
+            if not (touched & doomed):
+                continue
+            del self._pending[task_id]
+            sim.cancel_task(handle)
+            aborted += 1
+            self.registry.counter("fg_aborted").inc()
+            if request.kind == READ:
+                self.registry.counter("fg_read_failures").inc()
+        return aborted
 
     # ------------------------------------------------------------------
     # Completion
@@ -332,7 +387,7 @@ class ForegroundEngine:
             if entry is None:
                 others.append(handle)
                 continue
-            request, arrival, degraded = entry
+            request, arrival, degraded = entry[0], entry[1], entry[2]
             self._record(
                 RequestOutcome(
                     request=request,

@@ -438,6 +438,63 @@ class FluidSimulator:
                 # Rack-level resources are not per-node usage.
         return up, down
 
+    def task_bytes_remaining(self, handle: TaskHandle) -> float:
+        """Bytes the task still has to move (summed over live entities).
+
+        Finished and cancelled tasks report ``0.0`` — cancellation
+        already returned the residue to the caller.  The admission
+        controller charges this against its in-flight byte budget.
+        """
+        return sum(
+            self._entities[i].remaining
+            for i in self._task_entities.get(handle.task_id, set())
+        )
+
+    def inflight_bytes(self, kind: str | None = None) -> float:
+        """Total bytes live tasks still have to move, per edge-traversal.
+
+        ``kind`` restricts the sum to one traffic class (e.g.
+        ``"repair"``); ``None`` counts every class.  Each entity's
+        residue counts once per edge it spans, matching how
+        ``bytes_transferred`` accounts carried bytes.
+        """
+        total = 0.0
+        for entity in self._entities.values():
+            if kind is not None and entity.kind != kind:
+                continue
+            total += entity.remaining * len(entity.edges)
+        return total
+
+    def link_utilization(self) -> float:
+        """Peak used/capacity ratio over the network's resources *now*.
+
+        The backpressure watermark signal: 1.0 means at least one link
+        (node uplink/downlink, or rack link on hierarchical topologies)
+        is saturated by the current max-min allocation.  Resources with
+        zero capacity count as fully utilised only when something is
+        actually trying to cross them.
+        """
+        self._ensure_rates()
+        used: dict = {}
+        for entity in self._entities.values():
+            if entity.rate <= 0:
+                continue
+            for resource, coefficient in entity.usage.items():
+                used[resource] = (
+                    used.get(resource, 0.0) + coefficient * entity.rate
+                )
+        if not used:
+            return 0.0
+        capacities = self.network.capacities_at(self.now)
+        peak = 0.0
+        for resource in sorted(used):
+            capacity = capacities.get(resource, 0.0)
+            if capacity <= 0.0:
+                peak = max(peak, 1.0)
+            else:
+                peak = max(peak, used[resource] / capacity)
+        return peak
+
     # ------------------------------------------------------------------
     # Rate control
     # ------------------------------------------------------------------

@@ -34,9 +34,13 @@ the reference is ``transfer``, excess below it is ``contention``
 flow of the same repair was racing), near-zero rate is ``stall``.
 Explicit spans map directly — ``repair.planning`` → ``planning``,
 ``repair.fill``/``repair.decode`` → ``pipeline``, ``repair.backoff`` →
-``stall``.  Contention seconds are further charged to the foreground
-**tenants** whose flows shared a link with the repair at that instant
-(``tenant`` is stamped on foreground flows by the load generator).
+``stall``.  Contention seconds are further charged to the *rivals*
+whose flows shared a link with the repair at that instant: foreground
+**tenants** (``tenant`` is stamped on foreground flows by the load
+generator) and other concurrent **repairs** — labelled by owning
+control-plane job (``repair:<job>``, from the ``job`` field the fleet
+plane stamps on task spans) or, for single-job traces, by stripe track
+(``repair:<stripe>``).
 
 The decomposition is *exact by category too*: per repair,
 ``sum(categories.values()) == makespan`` within float tolerance.
@@ -568,7 +572,15 @@ def critical_paths(events: Sequence) -> CritPathReport:
         key=lambda s: (s.start, s.span_id),
     )
     task_label = {
-        task.span_id: f"repair:{task.track.split(':', 1)[-1]}"
+        # Control-plane traces stamp the owning job on every repair
+        # task; blame then names the rival *repair* ("repair:node3")
+        # rather than only its per-stripe track, so fleet contention
+        # aggregates per job.
+        task.span_id: (
+            f"repair:{task.fields['job']}"
+            if task.fields.get("job") is not None
+            else f"repair:{task.track.split(':', 1)[-1]}"
+        )
         for task in tasks
     }
     task_flows = {

@@ -10,6 +10,7 @@ from repro.repair.fullnode import (
     repair_full_node,
     repair_full_node_adaptive,
 )
+from repro.repair.jobmaster import StripeRepairMaster
 from repro.repair.metrics import FullNodeResult, RepairFailed, RepairResult
 from repro.repair.multichunk import (
     MultiChunkPlan,
@@ -31,6 +32,7 @@ __all__ = [
     "MultiChunkPlan",
     "RepairFailed",
     "RepairResult",
+    "StripeRepairMaster",
     "execute_multi_chunk",
     "fluid_estimate",
     "plan_multi_chunk",

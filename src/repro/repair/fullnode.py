@@ -86,6 +86,11 @@ class _InFlight:
     bytes_per_edge: float = 0.0
     #: First slice this flight delivers (> 0 on a resumed re-plan).
     start_slice: int = 0
+    #: Execution config the flight was submitted with.  The control plane
+    #: submits degraded flights with a coarser slice width; watermark
+    #: accounting must use the config the bytes were actually cut with,
+    #: not the orchestrator-wide default.
+    config: ExecutionConfig | None = None
 
 
 class _SpanBook:
@@ -102,9 +107,15 @@ class _SpanBook:
     """
 
     def __init__(self, tracer, stripes: Sequence[Stripe], t: float,
-                 scheme: str):
+                 scheme: str, job: str | None = None):
         self.tracer = tracer
         self.enabled = tracer.enabled
+        #: Fleet-run job id; single-master runs leave it None.  Stamped
+        #: on every ``repair.task`` span (the critical-path analyzer uses
+        #: it to blame contention on a *rival repair job*, not just a
+        #: tenant) and folded into the track name so two jobs repairing
+        #: stripes with colliding ids never share a track.
+        self.job = job
         self.spans: dict[int, int] = {}
         #: stripe_id -> span of the stripe's most recent flow (a re-plan
         #: or resume links its new flow to the one it replaces).
@@ -114,10 +125,12 @@ class _SpanBook:
                 self.spans[stripe.stripe_id] = tracer.begin(
                     "repair.task", t=t, track=self.track(stripe.stripe_id),
                     stripe=stripe.stripe_id, scheme=scheme,
+                    **({"job": job} if job is not None else {}),
                 )
 
-    @staticmethod
-    def track(stripe_id: int) -> str:
+    def track(self, stripe_id: int) -> str:
+        if self.job is not None:
+            return f"repair:{self.job}/{stripe_id}"
         return f"repair:{stripe_id}"
 
     def parent(self, stripe_id: int | None) -> int | None:
@@ -274,6 +287,7 @@ def _submit(
         handle=handle, plan=plan, running=running, stripe=stripe,
         tree_nodes=frozenset({tree.root, *tree.helpers}),
         bytes_per_edge=bytes_per_edge, start_slice=start_slice,
+        config=config,
     )
 
 
@@ -552,21 +566,22 @@ class _FaultDriver:
         its delivered bytes cannot be trusted.
         """
         if (
-            self.config is None
+            (flight.config or self.config) is None
             or flight.stripe is None
             or flight.plan.tree is None
         ):
             return
         if lost and all(node in unreadable for node in lost):
             return
+        config = flight.config or self.config
         progress = self.sim.task_progress(flight.handle)
-        attempt_slices = self.config.slices - flight.start_slice
+        attempt_slices = config.slices - flight.start_slice
         verified = max(
             0,
             int(progress * attempt_slices) - (flight.plan.tree.depth() - 1),
         )
         watermark = min(
-            flight.start_slice + verified, self.config.slices - 1
+            flight.start_slice + verified, config.slices - 1
         )
         if watermark <= 0:
             return

@@ -1,0 +1,414 @@
+"""Sharded repair master: one failed node's repair, stepped externally.
+
+The full-node orchestrators in :mod:`repro.repair.fullnode` own their
+event loop — they construct the simulator, advance the clock, and run to
+completion.  A repair *storm* (correlated rack outage, ROADMAP item 5)
+needs several of those repairs running concurrently over **one** shared
+:class:`~repro.network.simulator.FluidSimulator`, arbitrated by a fleet
+control plane (:mod:`repro.controlplane`).  This module factors the
+per-failed-node state machine out of the orchestrators into
+:class:`StripeRepairMaster`: it plans, submits, collects, checkpoints and
+re-plans exactly like ``repair_full_node_adaptive`` does for one node,
+but never moves the clock — the control plane advances time and routes
+each completed task back to the master that owns it.
+
+The master reuses the orchestration internals (``_FaultDriver``,
+``_SpanBook``, ``_submit``, ``_collect``) rather than re-implementing
+them, so a storm of one job with unlimited admission behaves exactly
+like a single adaptive full-node run.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import replace
+
+from repro.core.plan import RepairPlan, RepairPlanner
+from repro.ec.stripe import Stripe
+from repro.exceptions import ClusterError, PlanningError
+from repro.faults.plan import FaultPlan
+from repro.faults.policy import RetryPolicy
+from repro.network.simulator import FluidSimulator, TaskHandle
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.repair.fullnode import (
+    _collect,
+    _FaultDriver,
+    _InFlight,
+    _SpanBook,
+    _stripes_to_repair,
+    _submit,
+    choose_requestor,
+    residual_snapshot,
+)
+from repro.repair.metrics import FullNodeResult, RepairResult
+from repro.repair.pipeline import ExecutionConfig
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["StripeRepairMaster"]
+
+
+class _JobJournal:
+    """Journal adapter stamping every record with its repair job id.
+
+    Several masters share one :class:`~repro.resilience.RepairJournal`
+    during a storm; the ``job`` field disambiguates records whose stripe
+    ids would otherwise collide across jobs, and lets the determinism
+    tests diff per-job record streams.
+    """
+
+    def __init__(self, journal, job: str):
+        self._journal = journal
+        self._job = job
+
+    def append(self, kind: str, t: float = 0.0, **data):
+        return self._journal.append(kind, t=t, job=self._job, **data)
+
+    def __getattr__(self, name):
+        return getattr(self._journal, name)
+
+
+class StripeRepairMaster:
+    """Repair every lost chunk of one failed node, one step at a time.
+
+    The master holds the same pending/in-flight/results state as the
+    full-node orchestrators but exposes it as discrete operations the
+    control plane sequences::
+
+        tick()                fault detection + doomed-flight requeue
+        candidate()           plan the next pending stripe (or None)
+        submit(stripe, plan)  launch the planned stripe on the shared sim
+        collect(handles)      absorb completions routed back by the plane
+        pause() / watermark   checkpoint + cancel every in-flight task
+        degrade_to(level)     shrink helper sets / coarsen slices
+
+    ``degrade_to`` implements graceful degradation: level 1 trims the
+    helper candidate set to exactly ``k`` (fewer helpers, smaller trees,
+    less fan-in on congested links); level 2 additionally coarsens the
+    slice width for stripes that have no checkpoint yet (fewer, larger
+    slices cut pipeline bookkeeping under churn) and caps the submit
+    rate below the plan's ``bmin`` whenever the plan saw real headroom
+    (a saturated snapshot yields a meaningless near-zero ``bmin``; such
+    a cap is skipped rather than wedging the flight).  A stripe that
+    already carries a
+    slice watermark keeps the config it was checkpointed under — the
+    watermark is an index into *that* slicing.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        planner: RepairPlanner,
+        network,
+        stripes,
+        failed_node: int,
+        *,
+        sim: FluidSimulator,
+        config: ExecutionConfig | None = None,
+        tracer=NULL_TRACER,
+        faults: FaultPlan | None = None,
+        retry_policy: RetryPolicy | None = None,
+        journal=None,
+        registry: MetricsRegistry | None = None,
+        rate_factor: float = 0.5,
+        slice_factor: int = 4,
+        min_degraded_rate: float = 2.0 ** 20,
+    ):
+        self.job_id = job_id
+        self.planner = planner
+        #: Already fault-wrapped by the control plane (one wrap for the
+        #: whole fleet — wrapping per-master would apply degradation
+        #: factors twice).
+        self.network = network
+        self.failed_node = failed_node
+        self.sim = sim
+        self.config = config or ExecutionConfig()
+        self.tracer = tracer
+        self.faults = faults
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.journal = (
+            _JobJournal(journal, job_id) if journal is not None else None
+        )
+        self.rate_factor = rate_factor
+        self.slice_factor = slice_factor
+        #: Smallest degraded-rate cap worth honouring (bytes/s); below
+        #: this the plan-time residual carried no signal.
+        self.min_degraded_rate = min_degraded_rate
+
+        self.pending: list[Stripe] = _stripes_to_repair(stripes, failed_node)
+        self.in_flight: dict[int, _InFlight] = {}
+        self.results: list[RepairResult] = []
+        self.start_time = sim.now
+        self.level = 0
+        #: Cumulative fault-requeue events, the degradation escalation
+        #: signal (monotone, unlike ``driver.requeued_ids`` which drains).
+        self.requeue_events = 0
+        self._known_requeued: set[int] = set()
+        #: Config each stripe was last submitted under; re-submissions
+        #: reuse it so slice watermarks keep their meaning.
+        self._stripe_config: dict[int, ExecutionConfig] = {}
+        self.pauses = 0
+
+        scheme = f"{planner.name}+plane"
+        self.driver = _FaultDriver(
+            faults, retry_policy, sim, scheme, tracer, self.registry,
+            config=self.config, journal=self.journal,
+        )
+        self.book = _SpanBook(
+            tracer, self.pending, sim.now, scheme, job=job_id,
+        )
+        self.driver.book = self.book
+        self.scheme = scheme
+
+    # ------------------------------------------------------------------
+    # Stepping (called by the control plane)
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return not self.pending and not self.in_flight
+
+    @property
+    def failures(self):
+        return self.driver.failures
+
+    def running_tasks(self):
+        """The master's live tasks, for fleet-wide Eq. 3 scoring."""
+        return [flight.running for flight in self.in_flight.values()]
+
+    def collect(self, handles) -> None:
+        """Absorb completed task handles the plane routed to this master."""
+        _collect(
+            handles, self.in_flight, self.results, self.registry,
+            self.config, on_repaired=self._on_repaired,
+            journal=self.journal, sim=self.sim, book=self.book,
+        )
+
+    #: Foreground completion hook; the plane wires it to
+    #: ``ForegroundEngine.note_repaired`` so degraded reads stop once the
+    #: chunk is rebuilt.  ``None`` when no foreground engine is attached.
+    on_chunk_repaired = None
+
+    def _on_repaired(self, flight: _InFlight) -> None:
+        if self.on_chunk_repaired is None:
+            return
+        chunk_index = flight.stripe.chunk_on_node(self.failed_node)
+        if chunk_index is not None:
+            self.on_chunk_repaired(
+                flight.stripe, chunk_index, flight.plan.requestor
+            )
+
+    def tick(self) -> None:
+        """Fault detection: cancel doomed flights, requeue their stripes."""
+        self.driver.tick(self.in_flight, self.pending, self.collect)
+        newly = self.driver.requeued_ids - self._known_requeued
+        if newly:
+            self.requeue_events += len(newly)
+        self._known_requeued = set(self.driver.requeued_ids)
+
+    def degrade_to(self, level: int) -> bool:
+        """Escalate (never relax) the degradation level; True if changed."""
+        if level <= self.level:
+            return False
+        self.level = level
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "plane.degrade", t=self.sim.now, track="plane",
+                job=self.job_id, level=level,
+                requeues=self.requeue_events,
+            )
+        if self.journal is not None:
+            self.journal.append("degrade", t=self.sim.now, level=level)
+        return True
+
+    # ------------------------------------------------------------------
+    # Planning and submission
+    # ------------------------------------------------------------------
+    def candidate(self) -> tuple[Stripe, RepairPlan] | None:
+        """Plan the next pending stripe against residual bandwidth.
+
+        Stripes that became unrepairable (fewer than ``k`` surviving
+        helpers) are aborted as clean ``RepairFailed`` entries and
+        skipped — degradation can shrink a helper set, not conjure one.
+        Returns ``None`` when nothing plannable is pending.  The plan is
+        *not* yet charged or submitted; the plane decides that.
+        """
+        while self.pending:
+            stripe = self.pending[0]
+            try:
+                with self.tracer.scope(self.book.parent(stripe.stripe_id)):
+                    plan = self._plan(stripe)
+            except (ClusterError, PlanningError) as exc:
+                if self.faults is None or not self.driver.active:
+                    raise
+                self.pending.pop(0)
+                self.driver.abort_stripe(stripe, str(exc))
+                continue
+            return stripe, plan
+        return None
+
+    def _plan(self, stripe: Stripe) -> RepairPlan:
+        snapshot = residual_snapshot(self.network, self.sim)
+        unusable: set[int] = set()
+        dead: frozenset[int] | set[int] = frozenset()
+        if self.driver.active:
+            dead = self.driver.faults.dead_nodes(self.sim.now)
+            unusable = dead | self.driver.faults.unreadable_nodes(
+                self.sim.now
+            )
+        preferred = self.driver.preferred_requestor(stripe)
+        if preferred is not None:
+            requestor = preferred
+        else:
+            requestor = choose_requestor(
+                snapshot, stripe, self.failed_node, len(self.network),
+                exclude=dead,
+            )
+        candidates = [
+            node
+            for node in stripe.surviving_nodes(self.failed_node)
+            if node not in unusable
+        ]
+        k = stripe.code.k
+        if len(candidates) < k:
+            raise ClusterError(
+                f"stripe {stripe.stripe_id}: only {len(candidates)} "
+                f"helpers survive, need k={k}"
+            )
+        if self.level >= 1 and len(candidates) > k:
+            # Graceful degradation, step 1: fewer helpers.  Keep the k
+            # best uplinks so the shrunken tree still has the fattest
+            # sources; sorted tiebreak keeps the choice deterministic.
+            candidates = sorted(
+                candidates, key=lambda node: (-snapshot.up_of(node), node)
+            )[:k]
+            candidates.sort()
+        plan = self.planner.plan(snapshot, requestor, candidates, k)
+        plan.notes["stripe_id"] = stripe.stripe_id
+        plan.notes["planned_at"] = self.sim.now
+        plan.notes["job"] = self.job_id
+        return plan
+
+    def _config_for(self, stripe: Stripe) -> ExecutionConfig:
+        known = self._stripe_config.get(stripe.stripe_id)
+        if known is not None:
+            return known
+        config = self.config
+        if self.level >= 2:
+            # Graceful degradation, step 2: coarser slices.  Only for
+            # stripes with no checkpoint yet — a watermark indexes the
+            # slicing it was recorded under.
+            config = replace(
+                config,
+                slice_size=min(
+                    config.chunk_size,
+                    config.slice_size * self.slice_factor,
+                ),
+            )
+        return config
+
+    def submit(
+        self,
+        stripe: Stripe,
+        plan: RepairPlan,
+        max_rate: float | None = None,
+        planning_span: int | None = None,
+    ) -> _InFlight:
+        """Launch a planned stripe on the shared simulator."""
+        if not self.pending or self.pending[0] is not stripe:
+            self.pending.remove(stripe)
+        else:
+            self.pending.pop(0)
+        self.driver.note_started(stripe, plan)
+        start_slice = self.driver.resume_slice(stripe, plan)
+        config = self._config_for(stripe)
+        self._stripe_config[stripe.stripe_id] = config
+        cap = max_rate
+        if self.level >= 2 and plan.bmin > 0:
+            degraded_cap = plan.bmin * self.rate_factor
+            # A fully saturated residual snapshot plans with bmin ~= 0;
+            # capping the flight at that rate would wedge it forever
+            # (nothing ever re-opens a submit-time cap).  Politeness only
+            # applies when the plan saw real headroom — otherwise max-min
+            # sharing arbitrates as usual.
+            if degraded_cap >= self.min_degraded_rate:
+                cap = degraded_cap if cap is None else min(cap, degraded_cap)
+        if self.journal is not None:
+            self.journal.append(
+                "task_start", t=self.sim.now, stripe=stripe.stripe_id,
+                requestor=plan.requestor, scheme=plan.scheme,
+                start_slice=start_slice,
+            )
+        flight = _submit(
+            self.sim, plan, config, stripe=stripe, max_rate=cap,
+            start_slice=start_slice, book=self.book,
+            planning_span=planning_span,
+        )
+        self.in_flight[flight.handle.task_id] = flight
+        return flight
+
+    # ------------------------------------------------------------------
+    # Pause / resume (backpressure shedding)
+    # ------------------------------------------------------------------
+    def pause(self) -> float:
+        """Checkpoint and cancel every in-flight task; requeue stripes.
+
+        Each flight's verified slice progress is recorded through the
+        fault driver's watermark path (journaled as ``progress``), so
+        the eventual resume re-plans from the checkpoint instead of
+        re-transferring delivered slices.  Returns the in-flight bytes
+        released back to the admission budget (remaining bytes summed
+        over each task's edges).
+        """
+        released = 0.0
+        resumed_stripes: list[Stripe] = []
+        for task_id in sorted(self.in_flight):
+            flight = self.in_flight.pop(task_id)
+            self.driver._record_watermark(flight, [], frozenset())
+            remaining = self.sim.cancel_task(flight.handle)
+            edges = (
+                len(flight.plan.tree.edges())
+                if flight.plan.tree is not None
+                else 1
+            )
+            released += remaining * edges
+            if flight.stripe is not None:
+                resumed_stripes.append(flight.stripe)
+        # Paused stripes go back to the *front*, oldest first, so the
+        # resume replays them before untouched work.
+        self.pending[:0] = resumed_stripes
+        self.pauses += 1
+        if self.journal is not None:
+            self.journal.append(
+                "pause", t=self.sim.now,
+                stripes=[s.stripe_id for s in resumed_stripes],
+            )
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "plane.pause", t=self.sim.now, track="plane",
+                job=self.job_id,
+                stripes=[s.stripe_id for s in resumed_stripes],
+            )
+        return released
+
+    def note_resumed(self) -> None:
+        if self.journal is not None:
+            self.journal.append("resume", t=self.sim.now)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "plane.resume", t=self.sim.now, track="plane",
+                job=self.job_id, pending=len(self.pending),
+            )
+
+    # ------------------------------------------------------------------
+    # Result
+    # ------------------------------------------------------------------
+    def build_result(self) -> FullNodeResult:
+        return FullNodeResult(
+            scheme=self.scheme,
+            failed_node=self.failed_node,
+            total_seconds=self.sim.now - self.start_time,
+            task_results=self.results,
+            telemetry=None,
+            failures=list(self.driver.failures),
+        )

@@ -30,6 +30,7 @@ EVENT_PREFIXES = (
     "span",
     "slice",
     "critpath",
+    "plane",
 )
 
 

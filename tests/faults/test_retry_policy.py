@@ -1,0 +1,115 @@
+"""RetryPolicy storm hardening: backoff clamp and decorrelated jitter."""
+
+import math
+
+import pytest
+
+from repro.exceptions import FaultError
+from repro.faults import RetryPolicy
+
+
+class TestValidation:
+    def test_rejects_bad_knobs(self):
+        with pytest.raises(FaultError):
+            RetryPolicy(max_backoff=0.0)
+        with pytest.raises(FaultError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(FaultError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(FaultError):
+            RetryPolicy().backoff(-1)
+
+    def test_defaults_reproduce_the_classic_curve(self):
+        """jitter=0, max_backoff=inf: exact historical exponentials."""
+        policy = RetryPolicy(backoff_base=0.25, backoff_factor=2.0)
+        assert policy.jitter == 0.0
+        assert math.isinf(policy.max_backoff)
+        for retry in range(6):
+            assert policy.backoff(retry) == 0.25 * 2.0**retry
+            # The key is irrelevant without jitter.
+            assert policy.backoff(retry, key=17) == policy.backoff(retry)
+
+
+class TestClamp:
+    def test_max_backoff_caps_the_exponential(self):
+        policy = RetryPolicy(
+            backoff_base=0.25, backoff_factor=2.0, max_backoff=1.0
+        )
+        waits = [policy.backoff(r) for r in range(8)]
+        assert waits[:3] == [0.25, 0.5, 1.0]
+        assert all(w == 1.0 for w in waits[2:])
+
+    def test_jitter_never_exceeds_the_clamp(self):
+        policy = RetryPolicy(
+            backoff_base=0.25, backoff_factor=2.0,
+            max_backoff=2.0, jitter=0.5,
+        )
+        for retry in range(10):
+            for key in range(20):
+                wait = policy.backoff(retry, key=key)
+                assert wait <= 2.0
+                # Jitter only shortens: never below (1 - jitter) * clamp.
+                bare = min(0.25 * 2.0**retry, 2.0)
+                assert wait >= bare * 0.5
+
+
+class TestJitter:
+    def test_same_seed_key_retry_is_deterministic(self):
+        a = RetryPolicy(jitter=0.5, jitter_seed=7)
+        b = RetryPolicy(jitter=0.5, jitter_seed=7)
+        assert [a.backoff(r, key=3) for r in range(6)] == [
+            b.backoff(r, key=3) for r in range(6)
+        ]
+
+    def test_distinct_keys_decorrelate(self):
+        """A correlated failure wave must not re-plan in lockstep."""
+        policy = RetryPolicy(jitter=0.5, jitter_seed=1)
+        waits = {policy.backoff(1, key=key) for key in range(16)}
+        assert len(waits) > 1
+
+    def test_distinct_seeds_decorrelate(self):
+        a = RetryPolicy(jitter=0.5, jitter_seed=1)
+        b = RetryPolicy(jitter=0.5, jitter_seed=2)
+        assert [a.backoff(2, key=k) for k in range(8)] != [
+            b.backoff(2, key=k) for k in range(8)
+        ]
+
+    def test_jitter_window_is_one_sided(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0,
+                             jitter=0.25)
+        for key in range(50):
+            wait = policy.backoff(0, key=key)
+            assert 0.75 <= wait <= 1.0
+
+
+class TestFromSpec:
+    def test_full_spec_round_trip(self):
+        policy = RetryPolicy.from_spec(
+            "timeout=0.5,retries=4,backoff=0.25x2,jitter=0.5@7,maxbackoff=4"
+        )
+        assert policy.detection_timeout == 0.5
+        assert policy.max_retries == 4
+        assert policy.backoff_base == 0.25
+        assert policy.backoff_factor == 2.0
+        assert policy.jitter == 0.5
+        assert policy.jitter_seed == 7
+        assert policy.max_backoff == 4.0
+
+    def test_jitter_without_seed_keeps_default_seed(self):
+        policy = RetryPolicy.from_spec("jitter=0.25")
+        assert policy.jitter == 0.25
+        assert policy.jitter_seed == 0
+
+    def test_omitted_keys_keep_defaults(self):
+        policy = RetryPolicy.from_spec("maxbackoff=2")
+        assert policy.max_backoff == 2.0
+        assert policy.jitter == 0.0
+        assert policy.detection_timeout == RetryPolicy().detection_timeout
+
+    def test_malformed_entries_raise(self):
+        with pytest.raises(FaultError):
+            RetryPolicy.from_spec("maxbackoff")
+        with pytest.raises(FaultError):
+            RetryPolicy.from_spec("jitter=half")
+        with pytest.raises(FaultError):
+            RetryPolicy.from_spec("surprise=1")

@@ -259,3 +259,42 @@ class TestConcurrentFullNodeUnderLoad:
         for repair in payload["repairs"]:
             assert repair["segments"]
             assert repair["makespan"] >= 0
+
+
+class TestFleetJobBlame:
+    """Rival repair jobs from the control plane show up in contention
+    blame under their own ``repair:<job>`` labels, so a slow stripe can
+    point at the exact storm neighbour that squeezed it."""
+
+    def run_storm(self):
+        from repro.controlplane import StormConfig, run_storm
+
+        tracer = Tracer()
+        report = run_storm(
+            StormConfig(
+                seed=7, stripes=6, chunk_mib=4.0, foreground_rate=30.0,
+                foreground_duration=12.0, max_time=120.0,
+                admission_control=False,
+            ),
+            tracer=tracer,
+        )
+        return report, tracer
+
+    def test_storm_paths_tile_and_blame_names_rival_jobs(self):
+        storm, tracer = self.run_storm()
+        report = critical_paths(tracer.events)
+        assert_exact_tiling(report)
+        job_ids = set(storm.fleet.jobs)
+        blamed = {
+            name
+            for path in report.repairs
+            for name in path.tenants
+            if name.startswith("repair:")
+        }
+        assert blamed, "no rival repair job ever blamed for contention"
+        assert blamed <= {f"repair:{job_id}" for job_id in job_ids}
+        # Blame still partitions each repair's contention exactly.
+        for path in report.repairs:
+            assert sum(path.tenants.values()) == pytest.approx(
+                path.categories.get("contention", 0.0), abs=1e-12
+            )
